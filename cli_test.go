@@ -1,0 +1,270 @@
+// End-to-end integration tests: build the real command-line tools and run
+// the paper's full pipeline (Fig 2) through their binaries — trace,
+// transform, diff, simulate, plot, profile.
+package tracedst_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// tools lists every command built for the integration tests.
+var tools = []string{"gltrace", "dinero", "dsxform", "tracediff", "setplot", "glprof", "experiments", "dsx"}
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "tracedst-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range tools {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), name), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", name, args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String()
+}
+
+func TestCLIPipelineT1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.out")
+	ruleFile := filepath.Join(dir, "soa2aos.rule")
+	xformFile := filepath.Join(dir, "transformed_trace.out")
+
+	// 1. gltrace: built-in workload → trace file.
+	runTool(t, "gltrace", "-w", "trans1-soa", "-o", traceFile)
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "START PID") || !strings.Contains(string(data), "lSoA.mX[0]") {
+		t.Fatalf("trace content:\n%.300s", data)
+	}
+
+	// 2. dsxform: apply the Listing 5 rule.
+	rule := `
+in:
+struct lSoA { int mX[16]; double mY[16]; };
+out:
+struct lAoS { int mX; double mY; }[16];
+`
+	if err := os.WriteFile(ruleFile, []byte(rule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, "dsxform", "-rules", ruleFile, "-o", xformFile, traceFile)
+	xdata, err := os.ReadFile(xformFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(xdata), "lAoS[0].mX") || strings.Contains(string(xdata), "lSoA") {
+		t.Fatalf("transformed trace:\n%.300s", xdata)
+	}
+
+	// 3. tracediff: 32 rewrites, nothing inserted.
+	diffOut := runTool(t, "tracediff", "-stats-only", traceFile, xformFile)
+	if !strings.Contains(diffOut, "rewritten 32") || !strings.Contains(diffOut, "inserted 0") {
+		t.Fatalf("diff output:\n%s", diffOut)
+	}
+
+	// 4. dinero: simulate the transformed trace on the paper geometry.
+	simOut := runTool(t, "dinero", "-l1-size", "32k", "-l1-bsize", "32", "-l1-assoc", "1", xformFile)
+	for _, want := range []string{"Demand Fetches", "Per-variable statistics", "lAoS", "lI"} {
+		if !strings.Contains(simOut, want) {
+			t.Errorf("dinero output missing %q", want)
+		}
+	}
+
+	// 5. setplot: CSV per-set histogram.
+	csvOut := runTool(t, "setplot", "-format", "csv", xformFile)
+	if !strings.HasPrefix(csvOut, "set,") || !strings.Contains(csvOut, "lAoS hits") {
+		t.Errorf("setplot csv:\n%.200s", csvOut)
+	}
+
+	// 6. glprof: memory profile with reuse distances.
+	profOut := runTool(t, "glprof", "-reuse", traceFile)
+	for _, want := range []string{"memory profile", "reuse distances", "miss-ratio curve"} {
+		if !strings.Contains(profOut, want) {
+			t.Errorf("glprof output missing %q", want)
+		}
+	}
+}
+
+func TestCLIGltraceOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// -list names the paper workloads.
+	listOut := runTool(t, "gltrace", "-list")
+	for _, want := range []string{"trans1-soa", "trans3-strd", "matmul", "listing1"} {
+		if !strings.Contains(listOut, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	// Filters and defines compose; output goes to stdout with "-o -".
+	out := runTool(t, "gltrace", "-w", "trans1-soa", "-D", "LEN=4", "-only-var", "lSoA", "-o", "-")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+8 { // header + 4 mX + 4 mY
+		t.Errorf("filtered trace lines = %d:\n%s", len(lines), out)
+	}
+	// A custom source file.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.c")
+	if err := os.WriteFile(src, []byte(`int g; int main(void){ g = 1; return g; }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runTool(t, "gltrace", "-src", src, "-trace-all", "-o", "-")
+	if !strings.Contains(out, "GV g") {
+		t.Errorf("custom source trace:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	out := runTool(t, "experiments", "-fig", "11")
+	for _, want := range []string{"fig11", "lSetHashingArray", "set pinning: 100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments output missing %q:\n%s", want, out)
+		}
+	}
+	// Artifact files.
+	dir := t.TempDir()
+	runTool(t, "experiments", "-fig", "3", "-outdir", dir)
+	if _, err := os.Stat(filepath.Join(dir, "fig3.csv")); err != nil {
+		t.Errorf("fig3.csv not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig3.dat")); err != nil {
+		t.Errorf("fig3.dat not written: %v", err)
+	}
+}
+
+func TestCLIDineroPhysicalIndexing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.out")
+	runTool(t, "gltrace", "-w", "matmul", "-D", "N=8", "-o", traceFile)
+	virt := runTool(t, "dinero", "-l1-size", "1m", "-l1-assoc", "1", traceFile)
+	phys := runTool(t, "dinero", "-l1-size", "1m", "-l1-assoc", "1", "-phys", "shuffled", traceFile)
+	if virt == phys {
+		t.Log("virtual and physical reports identical (single page?) — tolerated")
+	}
+	if !strings.Contains(phys, "Demand Fetches") {
+		t.Errorf("physical run malformed:\n%.200s", phys)
+	}
+}
+
+func TestCLISteeringDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	ruleFile := filepath.Join(dir, "r.rule")
+	rule := `
+in:
+struct lSoA { int mX[16]; double mY[16]; };
+out:
+struct lAoS { int mX; double mY; }[16];
+`
+	if err := os.WriteFile(ruleFile, []byte(rule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "dsx", "-w", "trans1-soa", "-rules", ruleFile)
+	for _, want := range []string{
+		"rule: struct-remap  lSoA → lAoS",
+		"32 rewritten",
+		"original", "transformed", "per-set occupancy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dsx output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildTools(t)
+	cases := [][]string{
+		{"gltrace", "-w", "nonexistent"},
+		{"gltrace"},
+		{"dinero", "-l1-size", "100", "does-not-exist.trc"},
+		{"dsxform", "-rules", "missing.rule", "missing.trc"},
+		{"tracediff", "one-arg-only"},
+		{"setplot", "-format", "bogus", "x"},
+		{"experiments"},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(filepath.Join(bin, c[0]), c[1:]...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("%v unexpectedly succeeded:\n%s", c, out)
+		}
+	}
+}
+
+// TestExamplesRun smoke-tests every example main via "go run".
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("expected at least 5 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+// Command dsx runs the paper's whole analysis cycle (Fig 2) in one
+// invocation — the "computational steering" loop: trace a program, apply a
+// layout rule, simulate both traces on the same cache, and print a
+// before/after comparison.
+//
+// Usage:
+//
+//	dsx -w trans1-soa -rules soa2aos.rule
+//	dsx -src prog.c -D LEN=64 -rules hotcold.rule -l1-size 2k -l1-assoc 2
+//	dsx -w trans3-cont -rules stride.rule -l1-assoc 64 -l1-repl rr -diff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracedst/internal/analysis"
+	"tracedst/internal/cache"
+	"tracedst/internal/cliutil"
+	"tracedst/internal/dinero"
+	"tracedst/internal/rules"
+	"tracedst/internal/trace"
+	"tracedst/internal/tracediff"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+	"tracedst/internal/xform"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dsx", flag.ExitOnError)
+	workload := fs.String("w", "", "built-in workload name (see gltrace -list)")
+	srcFile := fs.String("src", "", "miniC source file")
+	ruleFile := fs.String("rules", "", "transformation rule file (required)")
+	l1 := cliutil.NewCacheFlags(fs, "l1", "32k", 32, 1)
+	showDiff := fs.Bool("diff", false, "print the trace diff")
+	saveXform := fs.String("o", "", "also write the transformed trace to this file")
+	defines := cliutil.Defines{}
+	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	_ = fs.Parse(os.Args[1:])
+
+	if *ruleFile == "" {
+		fatal(fmt.Errorf("need -rules FILE"))
+	}
+	src, defs, err := source(*workload, *srcFile, defines)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := l1.Build()
+	if err != nil {
+		fatal(err)
+	}
+
+	// 1. Trace.
+	res, err := tracer.Run(src, defs, tracer.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	// 2. Transform.
+	ruleSrc, err := os.ReadFile(*ruleFile)
+	if err != nil {
+		fatal(err)
+	}
+	rule, err := rules.Parse(string(ruleSrc))
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := xform.New(xform.Options{}, rule)
+	if err != nil {
+		fatal(err)
+	}
+	transformed, err := eng.TransformAll(res.Records)
+	if err != nil {
+		fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("rule: %s  %s → %s\n", rule.Kind(), rule.InRoot(), rule.OutRoot())
+	fmt.Printf("trace: %d records; %d rewritten, %d inserted, %d passed through\n\n",
+		st.Total, st.Matched, st.Inserted, st.Passed)
+
+	if *saveXform != "" {
+		if err := cliutil.WriteTrace(*saveXform, res.Header, transformed); err != nil {
+			fatal(err)
+		}
+	}
+
+	// 3. Diff summary (full diff with -diff).
+	d := tracediff.New(res.Records, transformed)
+	ds := d.Stats()
+	fmt.Printf("diff: %d same, %d rewritten, %d inserted, %d deleted\n\n",
+		ds.Same, ds.Rewritten, ds.Inserted, ds.Deleted)
+	if *showDiff {
+		fmt.Print(d.SideBySide(52))
+		fmt.Println()
+	}
+
+	// 4. Simulate both sides on the same cache.
+	before, err := simulate(res.Records, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := simulate(transformed, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	bs, as := before.L1().Stats(), after.L1().Stats()
+	fmt.Printf("cache: %d B, %d-byte blocks, %d-way %s\n\n", cfg.Size, cfg.BlockSize, cfg.Assoc, cfg.Repl)
+	fmt.Printf("%-14s %10s %10s %8s\n", "", "accesses", "misses", "miss%")
+	fmt.Printf("%-14s %10d %10d %7.2f%%\n", "original", bs.Accesses(), bs.Misses(), 100*bs.MissRatio())
+	fmt.Printf("%-14s %10d %10d %7.2f%%\n", "transformed", as.Accesses(), as.Misses(), 100*as.MissRatio())
+	switch {
+	case as.Misses() < bs.Misses():
+		fmt.Printf("\n→ transformed layout saves %d misses (%.1f%%)\n",
+			bs.Misses()-as.Misses(), 100*float64(bs.Misses()-as.Misses())/float64(bs.Misses()))
+	case as.Misses() > bs.Misses():
+		fmt.Printf("\n→ transformed layout costs %d extra misses\n", as.Misses()-bs.Misses())
+	default:
+		fmt.Printf("\n→ miss counts unchanged\n")
+	}
+
+	// 5. Per-set occupancy of the structures involved.
+	fmt.Println()
+	fmt.Println("original per-set occupancy:")
+	fmt.Print(analysis.FromSimulator("", before, false).Summary())
+	fmt.Println()
+	fmt.Println("transformed per-set occupancy:")
+	fmt.Print(analysis.FromSimulator("", after, false).Summary())
+}
+
+func source(workload, srcFile string, defines cliutil.Defines) (string, map[string]string, error) {
+	switch {
+	case workload != "" && srcFile != "":
+		return "", nil, fmt.Errorf("dsx: -w and -src are mutually exclusive")
+	case workload != "":
+		w, ok := workloads.Named[workload]
+		if !ok {
+			return "", nil, fmt.Errorf("dsx: unknown workload %q", workload)
+		}
+		defs := map[string]string{}
+		for k, v := range w.Defines {
+			defs[k] = v
+		}
+		for k, v := range defines {
+			defs[k] = v
+		}
+		return w.Source, defs, nil
+	case srcFile != "":
+		b, err := os.ReadFile(srcFile)
+		if err != nil {
+			return "", nil, err
+		}
+		return string(b), defines, nil
+	default:
+		return "", nil, fmt.Errorf("dsx: need -w or -src")
+	}
+}
+
+func simulate(recs []trace.Record, cfg cache.Config) (*dinero.Simulator, error) {
+	sim, err := dinero.New(dinero.Options{L1: cfg})
+	if err != nil {
+		return nil, err
+	}
+	sim.Process(recs)
+	return sim, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsx:", err)
+	os.Exit(1)
+}

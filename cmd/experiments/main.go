@@ -1,0 +1,117 @@
+// Command experiments regenerates the paper's figures (3-11): it runs the
+// relevant workload, applies the transformation rule where the figure calls
+// for one, simulates the paper's cache geometry, and prints the per-set
+// histogram (or trace diff) together with measured observations.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig 11
+//	experiments -fig 5 -diff          # include the full side-by-side diff
+//	experiments -all -outdir results  # also write CSV/gnuplot per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tracedst/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	fig := fs.Int("fig", 0, "regenerate one figure (3-11)")
+	all := fs.Bool("all", false, "regenerate every figure")
+	sweeps := fs.Bool("sweep", false, "run the layout sweeps (orig vs transformed across cache sizes)")
+	showDiff := fs.Bool("diff", false, "print full side-by-side diffs for diff figures")
+	diffWidth := fs.Int("diff-width", 52, "diff column width")
+	outdir := fs.String("outdir", "", "also write per-figure CSV/gnuplot/diff files to this directory")
+	_ = fs.Parse(os.Args[1:])
+
+	if *sweeps {
+		ss, err := experiments.Sweeps()
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range ss {
+			fmt.Println(s.Table())
+		}
+		if !*all && *fig == 0 {
+			return
+		}
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != 0:
+		ids = []string{fmt.Sprintf("fig%d", *fig)}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: need -all, -fig N or -sweep")
+		os.Exit(2)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		r, err := experiments.Run(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("==== %s — %s ====\n", r.ID, r.Title)
+		if r.Cache != "" {
+			fmt.Printf("cache: %s\n", r.Cache)
+		}
+		fmt.Printf("trace records: %d\n", r.Records)
+		if r.Plot != nil {
+			fmt.Println()
+			fmt.Print(r.Plot.ASCII(36))
+			fmt.Println()
+			fmt.Print(r.Plot.Summary())
+		}
+		if r.Diff != nil && *showDiff {
+			fmt.Println()
+			fmt.Print(r.Diff.SideBySide(*diffWidth))
+		}
+		fmt.Println()
+		for _, n := range r.Notes {
+			fmt.Printf("  * %s\n", n)
+		}
+		fmt.Println()
+		if *outdir != "" {
+			if err := writeArtifacts(*outdir, r, *diffWidth); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeArtifacts(dir string, r *experiments.Result, diffWidth int) error {
+	if r.Plot != nil {
+		if err := os.WriteFile(filepath.Join(dir, r.ID+".csv"), []byte(r.Plot.CSV()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, r.ID+".dat"), []byte(r.Plot.GnuplotData()), 0o644); err != nil {
+			return err
+		}
+		script := r.Plot.GnuplotScript(r.ID + ".dat")
+		if err := os.WriteFile(filepath.Join(dir, r.ID+".gp"), []byte(script), 0o644); err != nil {
+			return err
+		}
+	}
+	if r.Diff != nil {
+		if err := os.WriteFile(filepath.Join(dir, r.ID+".diff"), []byte(r.Diff.SideBySide(diffWidth)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command gltrace is the Gleipnir-equivalent tracer: it executes a miniC
+// program (a built-in workload or a source file) and writes the annotated
+// memory trace.
+//
+// Usage:
+//
+//	gltrace -w trans1-soa -o trace.out
+//	gltrace -src prog.c -D LEN=64 -trace-all -o -
+//	gltrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tracedst/internal/cliutil"
+	"tracedst/internal/trace"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+)
+
+func main() {
+	fs := flag.NewFlagSet("gltrace", flag.ExitOnError)
+	workload := fs.String("w", "", "built-in workload name (see -list)")
+	srcFile := fs.String("src", "", "miniC source file to trace instead of a built-in workload")
+	out := fs.String("o", "-", "output trace file (- for stdout)")
+	pid := fs.Int("pid", 0, "PID to put in the START header (0 = default)")
+	traceAll := fs.Bool("trace-all", false, "trace from program start even without GLEIPNIR markers")
+	list := fs.Bool("list", false, "list built-in workloads and exit")
+	onlyFunc := fs.String("only-func", "", "keep only records executed by this function")
+	onlyVar := fs.String("only-var", "", "keep only records of this root variable")
+	onlyOps := fs.String("only-ops", "", "keep only these access types, e.g. LS")
+	format := fs.String("format", "gleipnir", "output format: gleipnir | din (classic DineroIV input)")
+	defines := cliutil.Defines{}
+	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	_ = fs.Parse(os.Args[1:])
+
+	if *list {
+		names := make([]string, 0, len(workloads.Named))
+		for n := range workloads.Named {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-14s %s\n", n, workloads.Named[n].About)
+		}
+		return
+	}
+
+	src, defs, err := resolveSource(*workload, *srcFile, defines)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tracer.Run(src, defs, tracer.Options{PID: *pid, TraceAll: *traceAll})
+	if err != nil {
+		fatal(err)
+	}
+	records := res.Records
+	var preds []trace.Pred
+	if *onlyFunc != "" {
+		preds = append(preds, trace.ByFunc(*onlyFunc))
+	}
+	if *onlyVar != "" {
+		preds = append(preds, trace.ByVar(*onlyVar))
+	}
+	if *onlyOps != "" {
+		ops := make([]trace.Op, 0, len(*onlyOps))
+		for i := 0; i < len(*onlyOps); i++ {
+			op := trace.Op((*onlyOps)[i])
+			if !op.Valid() {
+				fatal(fmt.Errorf("gltrace: bad op %q in -only-ops", (*onlyOps)[i]))
+			}
+			ops = append(ops, op)
+		}
+		preds = append(preds, trace.ByOp(ops...))
+	}
+	if len(preds) > 0 {
+		records = trace.Filter(records, trace.And(preds...))
+	}
+	switch *format {
+	case "gleipnir":
+		if err := cliutil.WriteTrace(*out, res.Header, records); err != nil {
+			fatal(err)
+		}
+	case "din":
+		var w *os.File = os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if _, err := trace.WriteDin(w, records); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("gltrace: unknown format %q", *format))
+	}
+	fmt.Fprintf(os.Stderr, "gltrace: %d records (program returned %d)\n", len(records), res.Return)
+}
+
+func resolveSource(workload, srcFile string, defines cliutil.Defines) (string, map[string]string, error) {
+	switch {
+	case workload != "" && srcFile != "":
+		return "", nil, fmt.Errorf("gltrace: -w and -src are mutually exclusive")
+	case workload != "":
+		w, ok := workloads.Named[workload]
+		if !ok {
+			return "", nil, fmt.Errorf("gltrace: unknown workload %q (try -list)", workload)
+		}
+		defs := map[string]string{}
+		for k, v := range w.Defines {
+			defs[k] = v
+		}
+		for k, v := range defines {
+			defs[k] = v
+		}
+		return w.Source, defs, nil
+	case srcFile != "":
+		b, err := os.ReadFile(srcFile)
+		if err != nil {
+			return "", nil, err
+		}
+		return string(b), defines, nil
+	default:
+		return "", nil, fmt.Errorf("gltrace: need -w or -src (see -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

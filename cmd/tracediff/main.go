@@ -1,0 +1,64 @@
+// Command tracediff aligns an original trace with a transformed one and
+// prints a side-by-side view with change markers (the paper's Figures 5, 8
+// and 9) plus summary statistics.
+//
+// Usage:
+//
+//	tracediff original.out transformed_trace.out
+//	tracediff -stats-only a.out b.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tracedst/internal/cliutil"
+	"tracedst/internal/tracediff"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tracediff", flag.ExitOnError)
+	width := fs.Int("w", 52, "column width of each side")
+	statsOnly := fs.Bool("stats-only", false, "print only the summary")
+	_ = fs.Parse(os.Args[1:])
+
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "tracediff: usage: tracediff ORIGINAL TRANSFORMED")
+		os.Exit(2)
+	}
+	_, a, err := cliutil.LoadTrace(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	_, b, err := cliutil.LoadTrace(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d := tracediff.New(a, b)
+	if !*statsOnly {
+		fmt.Print(d.SideBySide(*width))
+		fmt.Println()
+	}
+	st := d.Stats()
+	fmt.Printf("same %d, rewritten %d, inserted %d, deleted %d\n",
+		st.Same, st.Rewritten, st.Inserted, st.Deleted)
+	cv := d.ChangedVariables()
+	if len(cv) > 0 {
+		names := make([]string, 0, len(cv))
+		for n := range cv {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("changed variables:")
+		for _, n := range names {
+			fmt.Printf("  %-28s %d lines\n", n, cv[n])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracediff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module tracedst
+
+go 1.22

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GnuplotScript renders a complete gnuplot script that reproduces the
+// paper's figure style from a data file written by GnuplotData: two
+// stacked log-scale panels (hits above, misses below) over cache sets,
+// one line per series — the layout of Figures 3, 4, 6, 7, 10 and 11.
+// datafile is the path the .dat series were written to.
+func (p *Plot) GnuplotScript(datafile string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# gnuplot script regenerating %q in the paper's figure style\n", p.Title)
+	fmt.Fprintf(&b, "# usage: gnuplot -persist thisfile.gp\n")
+	fmt.Fprintf(&b, "set multiplot layout 2,1 title %q\n", p.Title)
+	fmt.Fprintf(&b, "set logscale y\n")
+	fmt.Fprintf(&b, "set xlabel 'Cache Sets'\n")
+	fmt.Fprintf(&b, "set style data linespoints\n")
+	fmt.Fprintf(&b, "set key outside\n")
+
+	plotLines := func(col int, ylabel string) {
+		fmt.Fprintf(&b, "set ylabel %q\n", ylabel)
+		b.WriteString("plot ")
+		for i, s := range p.Series {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q index %d using 1:($%d+0.1) title %q", datafile, i, col, s.Label)
+		}
+		b.WriteString("\n")
+	}
+	plotLines(2, "Hits")
+	plotLines(3, "Misses")
+	b.WriteString("unset multiplot\n")
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/dinero"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+)
+
+func simFor(t *testing.T, src string, defines map[string]string, cfg cache.Config) *dinero.Simulator {
+	t.Helper()
+	res, err := tracer.Run(src, defines, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := dinero.New(dinero.Options{L1: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Process(res.Records)
+	return sim
+}
+
+func TestFromSimulatorSeries(t *testing.T) {
+	sim := simFor(t, workloads.Trans1SoA, map[string]string{"LEN": "16"}, cache.Paper32KDirect())
+	p := FromSimulator("fig3", sim, false)
+	if p.Sets != 1024 {
+		t.Errorf("sets = %d", p.Sets)
+	}
+	if _, ok := p.SeriesByLabel("lSoA"); !ok {
+		t.Error("lSoA series missing")
+	}
+	if _, ok := p.SeriesByLabel("lI"); !ok {
+		t.Error("lI series missing")
+	}
+	if _, ok := p.SeriesByLabel("(nosym)"); ok {
+		t.Error("(nosym) series included without flag")
+	}
+	// Series sorted by traffic: lI first.
+	if p.Series[0].Label != "lI" {
+		t.Errorf("first series = %s", p.Series[0].Label)
+	}
+}
+
+func TestIncludeNoSym(t *testing.T) {
+	sim := simFor(t, workloads.Trans1SoA, map[string]string{"LEN": "4"}, cache.Paper32KDirect())
+	p := FromSimulator("x", sim, true)
+	if _, ok := p.SeriesByLabel("(nosym)"); !ok {
+		t.Error("(nosym) missing with flag set")
+	}
+}
+
+func TestOccupiedRangeAndCSV(t *testing.T) {
+	sim := simFor(t, workloads.Trans1SoA, map[string]string{"LEN": "16"}, cache.Paper32KDirect())
+	p := FromSimulator("fig3", sim, false)
+	lo, hi, ok := p.OccupiedRange()
+	if !ok || lo > hi || hi >= p.Sets {
+		t.Fatalf("range = %d..%d ok=%v", lo, hi, ok)
+	}
+	csv := p.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != (hi-lo+1)+1 {
+		t.Errorf("csv rows = %d, want %d", len(lines), hi-lo+2)
+	}
+	if !strings.HasPrefix(lines[0], "set,") || !strings.Contains(lines[0], "lSoA hits") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestGnuplotData(t *testing.T) {
+	sim := simFor(t, workloads.Trans1SoA, map[string]string{"LEN": "8"}, cache.Paper32KDirect())
+	p := FromSimulator("fig3", sim, false)
+	dat := p.GnuplotData()
+	if !strings.Contains(dat, "# series: lSoA") || !strings.Contains(dat, "# fig3") {
+		t.Errorf("gnuplot data:\n%s", dat)
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	sim := simFor(t, workloads.Trans1SoA, map[string]string{"LEN": "16"}, cache.Paper32KDirect())
+	p := FromSimulator("fig3", sim, false)
+	art := p.ASCII(30)
+	if !strings.Contains(art, "set ") || !strings.Contains(art, "#") {
+		t.Errorf("ascii chart:\n%s", art)
+	}
+	// Empty plot renders gracefully.
+	empty := &Plot{Title: "none", Sets: 8}
+	if !strings.Contains(empty.ASCII(10), "no traffic") {
+		t.Error("empty plot rendering")
+	}
+}
+
+func TestOccupancySummary(t *testing.T) {
+	sim := simFor(t, workloads.Trans3Contiguous, map[string]string{"LEN": "1024"}, cache.PowerPC440())
+	p := FromSimulator("fig10", sim, false)
+	arr, ok := p.SeriesByLabel("lContiguousArray")
+	if !ok {
+		t.Fatal("series missing")
+	}
+	occ := OccupancyOf(arr)
+	// A 4 KB contiguous array sweeps all 16 sets of the PPC440 cache.
+	if occ.SetsTouched != 16 {
+		t.Errorf("contiguous array touches %d sets, want 16", occ.SetsTouched)
+	}
+	// lI is a single scalar: exactly one set.
+	li, _ := p.SeriesByLabel("lI")
+	occLI := OccupancyOf(li)
+	if occLI.SetsTouched != 1 || occLI.DominantShare != 1.0 {
+		t.Errorf("lI occupancy = %+v", occLI)
+	}
+	sum := p.Summary()
+	if !strings.Contains(sum, "lContiguousArray") || !strings.Contains(sum, "dominant-set") {
+		t.Errorf("summary:\n%s", sum)
+	}
+}
+
+func TestSeriesTotal(t *testing.T) {
+	s := Series{Label: "x", Hits: []int64{1, 2}, Misses: []int64{3, 0}}
+	if s.Total() != 6 {
+		t.Errorf("total = %d", s.Total())
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	if bar(0, 10, 10) != "" {
+		t.Error("zero bar not empty")
+	}
+	if len(bar(10, 10, 10)) != 10 {
+		t.Errorf("full bar = %q", bar(10, 10, 10))
+	}
+	if len(bar(1, 1000000, 10)) < 1 {
+		t.Error("small value bar vanished")
+	}
+}
+
+func TestGnuplotScript(t *testing.T) {
+	sim := simFor(t, workloads.Trans1SoA, map[string]string{"LEN": "8"}, cache.Paper32KDirect())
+	p := FromSimulator("fig3", sim, false)
+	gp := p.GnuplotScript("fig3.dat")
+	for _, want := range []string{
+		"set multiplot", "set logscale y", "Cache Sets",
+		`"fig3.dat" index 0`, "lSoA", "Hits", "Misses",
+	} {
+		if !strings.Contains(gp, want) {
+			t.Errorf("script missing %q:\n%s", want, gp)
+		}
+	}
+	// One plot command per panel ("multiplot" also contains the substring,
+	// so anchor at line start).
+	if strings.Count(gp, "\nplot ") != 2 {
+		t.Errorf("expected 2 plot commands:\n%s", gp)
+	}
+}

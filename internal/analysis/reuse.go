@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"tracedst/internal/trace"
+)
+
+// ReuseResult is the LRU stack-distance profile of a trace at block
+// granularity: for every access, the number of *distinct* blocks touched
+// since the previous access to the same block. Cold (first-touch) accesses
+// have infinite distance. The profile directly yields the miss-ratio curve
+// of a fully-associative LRU cache of any capacity — a layout-independent
+// summary of a workload's locality that complements the per-set histograms.
+type ReuseResult struct {
+	// BlockSize is the granularity in bytes.
+	BlockSize int64
+	// Accesses is the number of block-granular accesses profiled.
+	Accesses int64
+	// Cold counts first-touch (infinite-distance) accesses.
+	Cold int64
+	// Buckets[k] counts accesses with distance in [2^(k-1), 2^k) — except
+	// Buckets[0], which counts distance-0 accesses (immediate re-use).
+	Buckets []int64
+	// maxDist is the largest finite distance observed.
+	MaxDist int64
+
+	// dists holds the raw finite distances, ascending, for exact queries.
+	sorted []int32
+}
+
+// ReuseDistances profiles a record slice at the given block size. Modify
+// records count once (they re-touch the same block for read and write).
+func ReuseDistances(recs []trace.Record, blockSize int64) *ReuseResult {
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	r := &ReuseResult{BlockSize: blockSize}
+
+	// Count block touches first to size the Fenwick tree.
+	var touches int
+	for i := range recs {
+		if recs[i].Op == trace.Misc {
+			continue
+		}
+		first := recs[i].Addr / uint64(blockSize)
+		last := (recs[i].End() - 1) / uint64(blockSize)
+		touches += int(last-first) + 1
+	}
+	bit := newFenwick(touches + 1)
+	lastAt := map[uint64]int{} // block → timestamp of latest access
+	now := 0
+
+	for i := range recs {
+		if recs[i].Op == trace.Misc {
+			continue
+		}
+		first := recs[i].Addr / uint64(blockSize)
+		last := (recs[i].End() - 1) / uint64(blockSize)
+		for b := first; b <= last; b++ {
+			now++
+			r.Accesses++
+			if p, seen := lastAt[b]; seen {
+				// Distinct blocks accessed strictly between p and now.
+				d := int64(bit.sum(now-1) - bit.sum(p))
+				r.record(d)
+				bit.add(p, -1)
+			} else {
+				r.Cold++
+			}
+			bit.add(now, 1)
+			lastAt[b] = now
+		}
+	}
+	return r
+}
+
+func (r *ReuseResult) record(d int64) {
+	if d > r.MaxDist {
+		r.MaxDist = d
+	}
+	k := 0
+	if d > 0 {
+		k = bits.Len64(uint64(d)) // d in [2^(k-1), 2^k)
+	}
+	for len(r.Buckets) <= k {
+		r.Buckets = append(r.Buckets, 0)
+	}
+	r.Buckets[k]++
+	r.sorted = append(r.sorted, int32(d))
+}
+
+// finalize sorts the raw distances lazily.
+func (r *ReuseResult) finalize() {
+	if len(r.sorted) < 2 {
+		return
+	}
+	// Counting-free insertion check: sort only once.
+	for i := 1; i < len(r.sorted); i++ {
+		if r.sorted[i] < r.sorted[i-1] {
+			sortInt32(r.sorted)
+			return
+		}
+	}
+}
+
+// MissRatio returns the miss ratio of a fully-associative LRU cache with
+// the given capacity in blocks: accesses whose distance ≥ capacity (plus
+// cold misses) divided by all accesses.
+func (r *ReuseResult) MissRatio(capacityBlocks int64) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	r.finalize()
+	// Count finite distances ≥ capacity via binary search.
+	lo, hi := 0, len(r.sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int64(r.sorted[mid]) < capacityBlocks {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	misses := int64(len(r.sorted)-lo) + r.Cold
+	return float64(misses) / float64(r.Accesses)
+}
+
+// MissRatioCurve evaluates MissRatio at each capacity.
+func (r *ReuseResult) MissRatioCurve(capacities []int64) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = r.MissRatio(c)
+	}
+	return out
+}
+
+// Histogram renders the bucketed distance distribution.
+func (r *ReuseResult) Histogram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reuse distances (%d-byte blocks, %d accesses, %d cold)\n",
+		r.BlockSize, r.Accesses, r.Cold)
+	for k, n := range r.Buckets {
+		if n == 0 {
+			continue
+		}
+		var label string
+		switch k {
+		case 0:
+			label = "0"
+		case 1:
+			label = "1"
+		default:
+			label = fmt.Sprintf("%d-%d", int64(1)<<(k-1), int64(1)<<k-1)
+		}
+		fmt.Fprintf(&b, "  dist %-12s %8d (%.1f%%)\n", label, n, 100*float64(n)/float64(r.Accesses))
+	}
+	fmt.Fprintf(&b, "  dist inf          %8d (%.1f%%)\n", r.Cold, 100*float64(r.Cold)/float64(r.Accesses))
+	return b.String()
+}
+
+// fenwick is a 1-based binary indexed tree over timestamps.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & -i {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// sortInt32 is an in-place pdq-free quicksort for int32 (avoids pulling in
+// sort for a hot path; median-of-three, insertion sort for small runs).
+func sortInt32(a []int32) {
+	for len(a) > 12 {
+		// Median of three pivot.
+		m := len(a) / 2
+		hi := len(a) - 1
+		if a[0] > a[m] {
+			a[0], a[m] = a[m], a[0]
+		}
+		if a[m] > a[hi] {
+			a[m], a[hi] = a[hi], a[m]
+			if a[0] > a[m] {
+				a[0], a[m] = a[m], a[0]
+			}
+		}
+		pivot := a[m]
+		i, j := 0, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j < len(a)-i {
+			sortInt32(a[:j+1])
+			a = a[i:]
+		} else {
+			sortInt32(a[i:])
+			a = a[:j+1]
+		}
+	}
+	// Insertion sort.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/trace"
+)
+
+// TimelinePoint is one window of a miss-rate timeline.
+type TimelinePoint struct {
+	// StartRecord is the index of the first record in the window.
+	StartRecord int
+	Accesses    int64
+	Misses      int64
+}
+
+// Ratio returns misses/accesses for the window.
+func (p TimelinePoint) Ratio() float64 {
+	if p.Accesses == 0 {
+		return 0
+	}
+	return float64(p.Misses) / float64(p.Accesses)
+}
+
+// Timeline is the evolution of the miss rate across a trace — phase
+// behaviour that a single aggregate miss ratio hides (e.g. the cold start,
+// or a transformation shifting misses from one loop to another).
+type Timeline struct {
+	Window int
+	Points []TimelinePoint
+}
+
+// MissTimeline replays recs on a fresh cache of the given geometry and
+// samples hit/miss counts every window records. X records are skipped;
+// modifies count as read+write like the simulator proper.
+func MissTimeline(recs []trace.Record, cfg cache.Config, window int) (*Timeline, error) {
+	if window <= 0 {
+		window = 256
+	}
+	c, err := cache.New(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	tl := &Timeline{Window: window}
+	var cur TimelinePoint
+	flush := func(next int) {
+		if cur.Accesses > 0 {
+			tl.Points = append(tl.Points, cur)
+		}
+		cur = TimelinePoint{StartRecord: next}
+	}
+	count := func(kind cache.Kind, r *trace.Record) {
+		for _, o := range c.Access(kind, r.Addr, r.Size, "") {
+			cur.Accesses++
+			if !o.Hit {
+				cur.Misses++
+			}
+		}
+	}
+	for i := range recs {
+		if i > 0 && i%window == 0 {
+			flush(i)
+		}
+		r := &recs[i]
+		switch r.Op {
+		case trace.Load:
+			count(cache.Read, r)
+		case trace.Store:
+			count(cache.Write, r)
+		case trace.Modify:
+			count(cache.Read, r)
+			count(cache.Write, r)
+		}
+	}
+	flush(len(recs))
+	return tl, nil
+}
+
+// Sparkline renders the timeline as a one-line unicode-free chart where
+// each character bins one window's miss ratio into levels " .:-=+*#%@".
+func (tl *Timeline) Sparkline() string {
+	const levels = " .:-=+*#%@"
+	var b strings.Builder
+	for _, p := range tl.Points {
+		idx := int(p.Ratio() * float64(len(levels)-1))
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteByte(levels[idx])
+	}
+	return b.String()
+}
+
+// Table renders the timeline numerically.
+func (tl *Timeline) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %8s\n", "record", "accesses", "misses", "ratio")
+	for _, p := range tl.Points {
+		fmt.Fprintf(&b, "%-10d %10d %10d %7.2f%%\n", p.StartRecord, p.Accesses, p.Misses, 100*p.Ratio())
+	}
+	return b.String()
+}
+
+// PeakWindow returns the window with the highest miss ratio (ok false for
+// an empty timeline).
+func (tl *Timeline) PeakWindow() (TimelinePoint, bool) {
+	var best TimelinePoint
+	found := false
+	for _, p := range tl.Points {
+		if !found || p.Ratio() > best.Ratio() {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrefetchAlwaysSequentialSweep: with always-prefetch, a sequential
+// sweep demand-misses only on the very first block; every later block was
+// prefetched ahead of the access.
+func TestPrefetchAlwaysSequentialSweep(t *testing.T) {
+	cfg := Paper32KDirect()
+	cfg.Prefetch = PrefetchAlways
+	c := mustNew(t, cfg, nil)
+	var misses int64
+	for b := 0; b < 64; b++ {
+		for _, o := range c.Access(Read, uint64(b)*32, 4, "arr") {
+			if !o.Hit {
+				misses++
+			}
+		}
+	}
+	if misses != 1 {
+		t.Errorf("demand misses = %d, want 1 (prefetch covers the rest)", misses)
+	}
+	st := c.Stats()
+	if st.Prefetches != 64 {
+		t.Errorf("prefetches = %d, want 64", st.Prefetches)
+	}
+	// Fills: the first prefetch brings block 1; each subsequent access's
+	// prefetch brings the next — only the re-prefetch of already-resident
+	// blocks is a pure lookup. Sweep of 64 blocks: 64 fills (blocks 1..64).
+	if st.PrefetchFills != 64 {
+		t.Errorf("prefetch fills = %d, want 64", st.PrefetchFills)
+	}
+}
+
+// TestPrefetchMissOnlyOnMisses: miss-prefetch triggers only on demand
+// misses.
+func TestPrefetchMissOnlyOnMisses(t *testing.T) {
+	cfg := Paper32KDirect()
+	cfg.Prefetch = PrefetchMiss
+	c := mustNew(t, cfg, nil)
+	c.Access(Read, 0, 4, "")  // miss → prefetch block 1
+	c.Access(Read, 0, 4, "")  // hit → no prefetch
+	c.Access(Read, 32, 4, "") // hit (prefetched) → no prefetch
+	st := c.Stats()
+	if st.Prefetches != 1 || st.PrefetchFills != 1 {
+		t.Errorf("prefetches = %d fills = %d, want 1/1", st.Prefetches, st.PrefetchFills)
+	}
+	if st.ReadMisses != 1 || st.ReadHits != 2 {
+		t.Errorf("demand stats = %+v", st)
+	}
+}
+
+// TestPrefetchDoesNotTouchDemandStats: prefetch traffic never shows up in
+// the per-set demand counters.
+func TestPrefetchDoesNotTouchDemandStats(t *testing.T) {
+	cfg := Config{Size: 256, BlockSize: 32, Assoc: 1, Prefetch: PrefetchAlways}
+	c := mustNew(t, cfg, nil)
+	c.Access(Read, 0, 4, "v")
+	st := c.Stats()
+	var perSet int64
+	for _, ps := range st.PerSet {
+		perSet += ps.Hits + ps.Misses
+	}
+	if perSet != 1 {
+		t.Errorf("per-set demand tally = %d, want 1 (prefetch leaked)", perSet)
+	}
+	if st.Accesses() != 1 {
+		t.Errorf("demand accesses = %d", st.Accesses())
+	}
+}
+
+// TestPrefetchFillsNextLevel: prefetch fills read from L2.
+func TestPrefetchFillsNextLevel(t *testing.T) {
+	l2 := mustNew(t, Config{Name: "l2", Size: 4096, BlockSize: 32, Assoc: 4}, nil)
+	cfg := Config{Size: 256, BlockSize: 32, Assoc: 1, Prefetch: PrefetchMiss}
+	l1 := mustNew(t, cfg, l2)
+	l1.Access(Read, 0, 4, "")
+	// L2 sees the demand fill and the prefetch fill.
+	if got := l2.Stats().Reads; got != 2 {
+		t.Errorf("L2 reads = %d, want 2", got)
+	}
+}
+
+func TestPrefetchPolicyStringsAndParse(t *testing.T) {
+	if PrefetchNone.String() != "none" || PrefetchMiss.String() != "miss-prefetch" ||
+		PrefetchAlways.String() != "always-prefetch" || PrefetchPolicy(9).String() == "" {
+		t.Error("prefetch strings")
+	}
+	for s, want := range map[string]PrefetchPolicy{
+		"none": PrefetchNone, "n": PrefetchNone, "": PrefetchNone,
+		"miss": PrefetchMiss, "m": PrefetchMiss,
+		"always": PrefetchAlways, "a": PrefetchAlways,
+	} {
+		got, err := ParsePrefetch(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePrefetch(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePrefetch("bogus"); err == nil {
+		t.Error("bad prefetch policy accepted")
+	}
+}
+
+// TestPrefetchReportLine: the report mentions prefetches when used.
+func TestPrefetchReportLine(t *testing.T) {
+	cfg := Paper32KDirect()
+	cfg.Prefetch = PrefetchAlways
+	c := mustNew(t, cfg, nil)
+	c.Access(Read, 0, 4, "")
+	rep := c.Stats().Report("l1")
+	if !strings.Contains(rep, "Prefetches") {
+		t.Errorf("report missing prefetch line:\n%s", rep)
+	}
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refDirectMapped is an independent, obviously-correct model of a
+// direct-mapped cache: a map from set index to resident block number.
+type refDirectMapped struct {
+	blockShift uint
+	sets       uint64
+	resident   map[uint64]uint64
+}
+
+func newRefDM(size, blockSize int64) *refDirectMapped {
+	shift := uint(0)
+	for int64(1)<<shift < blockSize {
+		shift++
+	}
+	return &refDirectMapped{
+		blockShift: shift,
+		sets:       uint64(size / blockSize),
+		resident:   map[uint64]uint64{},
+	}
+}
+
+func (r *refDirectMapped) access(addr uint64) bool {
+	block := addr >> r.blockShift
+	set := block % r.sets
+	if b, ok := r.resident[set]; ok && b == block {
+		return true
+	}
+	r.resident[set] = block
+	return false
+}
+
+// TestDirectMappedMatchesReference drives the production simulator and the
+// reference model with the same random access stream and requires
+// hit-for-hit agreement.
+func TestDirectMappedMatchesReference(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		cfg := Config{Size: 2048, BlockSize: 32, Assoc: 1}
+		c, err := New(cfg, nil)
+		if err != nil {
+			return false
+		}
+		ref := newRefDM(cfg.Size, cfg.BlockSize)
+		for _, a := range addrs {
+			got := c.Access(Read, uint64(a), 1, "")[0].Hit
+			want := ref.access(uint64(a))
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refFullyAssocLRU is an independent fully-associative LRU model.
+type refFullyAssocLRU struct {
+	blockShift uint
+	capacity   int
+	order      []uint64 // MRU first
+}
+
+func (r *refFullyAssocLRU) access(addr uint64) bool {
+	block := addr >> r.blockShift
+	for i, b := range r.order {
+		if b == block {
+			copy(r.order[1:i+1], r.order[:i])
+			r.order[0] = block
+			return true
+		}
+	}
+	r.order = append([]uint64{block}, r.order...)
+	if len(r.order) > r.capacity {
+		r.order = r.order[:r.capacity]
+	}
+	return false
+}
+
+// TestFullyAssociativeLRUMatchesReference cross-checks the LRU datapath.
+func TestFullyAssociativeLRUMatchesReference(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		cfg := Config{Size: 256, BlockSize: 32, Assoc: 0, Repl: ReplLRU}
+		c, err := New(cfg, nil)
+		if err != nil {
+			return false
+		}
+		ref := &refFullyAssocLRU{blockShift: 5, capacity: 8}
+		for _, a := range addrs {
+			got := c.Access(Read, uint64(a), 1, "")[0].Hit
+			if got != ref.access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUInclusionProperty: with LRU and a fixed set count, doubling the
+// associativity can never turn a hit into a miss (stack property per set).
+func TestLRUInclusionProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		small, err := New(Config{Size: 1024, BlockSize: 32, Assoc: 2, Repl: ReplLRU}, nil)
+		if err != nil {
+			return false
+		}
+		// Same 16 sets, twice the ways.
+		big, err := New(Config{Size: 2048, BlockSize: 32, Assoc: 4, Repl: ReplLRU}, nil)
+		if err != nil {
+			return false
+		}
+		if small.Config().Sets() != big.Config().Sets() {
+			return false
+		}
+		for _, a := range addrs {
+			hitSmall := small.Access(Read, uint64(a), 1, "")[0].Hit
+			hitBig := big.Access(Read, uint64(a), 1, "")[0].Hit
+			if hitSmall && !hitBig {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

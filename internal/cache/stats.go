@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SetStats is the per-set hit/miss tally behind the paper's figures.
+type SetStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Stats accumulates a cache level's counters.
+type Stats struct {
+	Reads       int64
+	ReadHits    int64
+	ReadMisses  int64
+	Writes      int64
+	WriteHits   int64
+	WriteMisses int64
+
+	Evictions  int64
+	Writebacks int64
+
+	// Prefetches counts issued sequential prefetches; PrefetchFills those
+	// that actually brought a block in (the rest were already resident).
+	Prefetches    int64
+	PrefetchFills int64
+
+	// Three-C classification (only when Config.ClassifyMisses).
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
+
+	PerSet []SetStats
+}
+
+// Accesses is the total number of block-granular accesses.
+func (s Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// Hits is the total hit count.
+func (s Stats) Hits() int64 { return s.ReadHits + s.WriteHits }
+
+// Misses is the total miss count.
+func (s Stats) Misses() int64 { return s.ReadMisses + s.WriteMisses }
+
+// MissRatio returns misses/accesses (0 when idle).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Accesses())
+}
+
+// Report renders a DineroIV-flavoured statistics block.
+func (s Stats) Report(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	fmt.Fprintf(&b, " Metrics               Total      Fetch       Read      Write\n")
+	fmt.Fprintf(&b, " -----------------  --------   --------   --------   --------\n")
+	fmt.Fprintf(&b, " Demand Fetches     %9d  %9d  %9d  %9d\n", s.Accesses(), int64(0), s.Reads, s.Writes)
+	fmt.Fprintf(&b, " Demand Misses      %9d  %9d  %9d  %9d\n", s.Misses(), int64(0), s.ReadMisses, s.WriteMisses)
+	fmt.Fprintf(&b, " Demand Miss Rate   %9.4f  %9.4f  %9.4f  %9.4f\n",
+		s.MissRatio(), 0.0, ratio(s.ReadMisses, s.Reads), ratio(s.WriteMisses, s.Writes))
+	fmt.Fprintf(&b, " Evictions          %9d   (writebacks %d)\n", s.Evictions, s.Writebacks)
+	if s.Prefetches > 0 {
+		fmt.Fprintf(&b, " Prefetches         %9d   (fills %d)\n", s.Prefetches, s.PrefetchFills)
+	}
+	if s.Compulsory+s.Capacity+s.Conflict > 0 {
+		fmt.Fprintf(&b, " Miss Classes        compulsory %d   capacity %d   conflict %d\n",
+			s.Compulsory, s.Capacity, s.Conflict)
+	}
+	return b.String()
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// OccupiedSets returns the indices of sets with any traffic, in order.
+func (s Stats) OccupiedSets() []int {
+	var out []int
+	for i, ps := range s.PerSet {
+		if ps.Hits+ps.Misses > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package cliutil holds the flag plumbing shared by the command-line tools:
+// cache-geometry flags in DineroIV style, repeatable -D macro definitions,
+// and trace-file loading.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/trace"
+)
+
+// CacheFlags registers DineroIV-style geometry flags with the given prefix
+// (e.g. "l1") and returns a builder.
+type CacheFlags struct {
+	size  *string
+	bsize *int64
+	assoc *int
+	repl  *string
+	write *string
+	alloc *string
+	class *bool
+	pf    *string
+	name  string
+}
+
+// NewCacheFlags registers -<p>-size, -<p>-bsize, -<p>-assoc, -<p>-repl,
+// -<p>-write, -<p>-alloc and -<p>-classify on fs with the given defaults.
+func NewCacheFlags(fs *flag.FlagSet, p string, defSize string, defBsize int64, defAssoc int) *CacheFlags {
+	return &CacheFlags{
+		name:  p,
+		size:  fs.String(p+"-size", defSize, "cache size in bytes (suffixes k/m allowed)"),
+		bsize: fs.Int64(p+"-bsize", defBsize, "cache block size in bytes"),
+		assoc: fs.Int(p+"-assoc", defAssoc, "associativity (0 = fully associative)"),
+		repl:  fs.String(p+"-repl", "lru", "replacement policy: lru|fifo|random|rr"),
+		write: fs.String(p+"-write", "wb", "write policy: wb (write-back) | wt (write-through)"),
+		alloc: fs.String(p+"-alloc", "wa", "write-miss policy: wa (allocate) | wn (no allocate)"),
+		class: fs.Bool(p+"-classify", false, "classify misses (compulsory/capacity/conflict)"),
+		pf:    fs.String(p+"-pf", "none", "sequential prefetch: none | miss | always"),
+	}
+}
+
+// Build validates the flags into a cache.Config.
+func (cf *CacheFlags) Build() (cache.Config, error) {
+	var cfg cache.Config
+	size, err := ParseSize(*cf.size)
+	if err != nil {
+		return cfg, err
+	}
+	repl, err := cache.ParseRepl(*cf.repl)
+	if err != nil {
+		return cfg, err
+	}
+	pf, err := cache.ParsePrefetch(*cf.pf)
+	if err != nil {
+		return cfg, err
+	}
+	cfg = cache.Config{
+		Name:           cf.name,
+		Size:           size,
+		BlockSize:      *cf.bsize,
+		Assoc:          *cf.assoc,
+		Repl:           repl,
+		Prefetch:       pf,
+		ClassifyMisses: *cf.class,
+	}
+	switch *cf.write {
+	case "wb":
+		cfg.Write = cache.WriteBack
+	case "wt":
+		cfg.Write = cache.WriteThrough
+	default:
+		return cfg, fmt.Errorf("bad write policy %q", *cf.write)
+	}
+	switch *cf.alloc {
+	case "wa":
+		cfg.Alloc = cache.WriteAllocate
+	case "wn":
+		cfg.Alloc = cache.NoWriteAllocate
+	default:
+		return cfg, fmt.Errorf("bad alloc policy %q", *cf.alloc)
+	}
+	return cfg, cfg.Validate()
+}
+
+// ParseSize parses "32768", "32k", "4m".
+func ParseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1024, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1024*1024, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+// Defines is a repeatable -D NAME=VALUE flag.
+type Defines map[string]string
+
+// String implements flag.Value.
+func (d Defines) String() string {
+	var parts []string
+	for k, v := range d {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (d Defines) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("define must be NAME=VALUE, got %q", s)
+	}
+	d[name] = val
+	return nil
+}
+
+// LoadTrace reads a trace file ("-" means stdin).
+func LoadTrace(path string) (trace.Header, []trace.Record, error) {
+	var rd *trace.Reader
+	if path == "-" {
+		rd = trace.NewReader(os.Stdin)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return trace.Header{}, nil, err
+		}
+		defer f.Close()
+		rd = trace.NewReader(f)
+	}
+	h, err := rd.Header()
+	if err != nil {
+		return h, nil, err
+	}
+	recs, err := rd.ReadAll()
+	return h, recs, err
+}
+
+// WriteTrace writes a trace file ("-" means stdout).
+func WriteTrace(path string, h trace.Header, recs []trace.Record) error {
+	var out *os.File
+	if path == "-" {
+		out = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := trace.NewWriter(out)
+	if err := w.WriteHeader(h); err != nil {
+		return err
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,168 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/trace"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"32768": 32768,
+		"32k":   32768,
+		"32K":   32768,
+		"4m":    4 * 1024 * 1024,
+		" 8k ":  8192,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "k", "12q", "1.5k"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCacheFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := NewCacheFlags(fs, "l1", "32k", 32, 1)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Size != 32768 || cfg.BlockSize != 32 || cfg.Assoc != 1 ||
+		cfg.Repl != cache.ReplLRU || cfg.Write != cache.WriteBack || cfg.Alloc != cache.WriteAllocate {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestCacheFlagsParsing(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := NewCacheFlags(fs, "l1", "32k", 32, 1)
+	args := []string{"-l1-size", "8k", "-l1-assoc", "64", "-l1-repl", "rr",
+		"-l1-write", "wt", "-l1-alloc", "wn", "-l1-classify"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Size != 8192 || cfg.Assoc != 64 || cfg.Repl != cache.ReplRoundRobin ||
+		cfg.Write != cache.WriteThrough || cfg.Alloc != cache.NoWriteAllocate || !cfg.ClassifyMisses {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestCacheFlagsErrors(t *testing.T) {
+	build := func(args ...string) error {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		cf := NewCacheFlags(fs, "l1", "32k", 32, 1)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		_, err := cf.Build()
+		return err
+	}
+	for _, args := range [][]string{
+		{"-l1-size", "nope"},
+		{"-l1-repl", "mru"},
+		{"-l1-write", "xx"},
+		{"-l1-alloc", "xx"},
+		{"-l1-bsize", "33"},
+	} {
+		if build(args...) == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDefinesFlag(t *testing.T) {
+	d := Defines{}
+	if err := d.Set("LEN=16"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("N=8"); err != nil {
+		t.Fatal(err)
+	}
+	if d["LEN"] != "16" || d["N"] != "8" {
+		t.Errorf("defines = %v", d)
+	}
+	if err := d.Set("NOVALUE"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := d.Set("=5"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if d.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestLoadWriteTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	h := trace.Header{PID: 42}
+	rec, err := trace.ParseRecord("S 000601040 4 main GV g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(path, h, []trace.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	h2, recs, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.PID != 42 || len(recs) != 1 || !recs[0].Equal(&rec) {
+		t.Errorf("round trip: %+v %+v", h2, recs)
+	}
+}
+
+func TestLoadTraceMissing(t *testing.T) {
+	if _, _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteTraceBadDir(t *testing.T) {
+	if err := WriteTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "t.trc"),
+		trace.Header{}, nil); err == nil {
+		t.Error("bad path accepted")
+	}
+	_ = os.ErrNotExist
+}
+
+func TestCacheFlagsPrefetch(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := NewCacheFlags(fs, "l1", "32k", 32, 1)
+	if err := fs.Parse([]string{"-l1-pf", "always"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Prefetch != cache.PrefetchAlways {
+		t.Errorf("prefetch = %v", cfg.Prefetch)
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf2 := NewCacheFlags(fs2, "l1", "32k", 32, 1)
+	if err := fs2.Parse([]string{"-l1-pf", "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf2.Build(); err == nil {
+		t.Error("bad prefetch flag accepted")
+	}
+}

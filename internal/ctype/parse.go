@@ -1,0 +1,363 @@
+package ctype
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Env is a registry of named types (struct tags and typedefs) visible to the
+// declaration parser. The zero value is usable.
+type Env struct {
+	structs  map[string]*Struct
+	typedefs map[string]Type
+}
+
+// NewEnv returns an empty type environment.
+func NewEnv() *Env {
+	return &Env{structs: map[string]*Struct{}, typedefs: map[string]Type{}}
+}
+
+// DefineStruct records a struct tag. Redefinition is an error.
+func (e *Env) DefineStruct(s *Struct) error {
+	if s.Name == "" {
+		return fmt.Errorf("ctype: cannot register anonymous struct")
+	}
+	if _, dup := e.structs[s.Name]; dup {
+		return fmt.Errorf("ctype: struct %s redefined", s.Name)
+	}
+	e.structs[s.Name] = s
+	return nil
+}
+
+// Struct looks up a struct tag.
+func (e *Env) Struct(name string) (*Struct, bool) {
+	s, ok := e.structs[name]
+	return s, ok
+}
+
+// DefineTypedef records a typedef name. Redefinition is an error.
+func (e *Env) DefineTypedef(name string, t Type) error {
+	if _, dup := e.typedefs[name]; dup {
+		return fmt.Errorf("ctype: typedef %s redefined", name)
+	}
+	e.typedefs[name] = t
+	return nil
+}
+
+// Typedef looks up a typedef name.
+func (e *Env) Typedef(name string) (Type, bool) {
+	t, ok := e.typedefs[name]
+	return t, ok
+}
+
+// Decl is a parsed variable declaration.
+type Decl struct {
+	Name string
+	Type Type
+}
+
+// ParseDecls parses a sequence of C declarations — variable declarations and
+// struct definitions — and returns the variable declarations in order.
+// Struct definitions are registered in env. Supported forms:
+//
+//	int x; double d; int a[10]; char m[4][8];
+//	struct tag { int x; double y[4]; };          (definition only)
+//	struct tag v; struct tag av[10];
+//	struct tag { ... } v[10];                    (define and declare)
+//	struct tag *p; int *q;
+//
+// Comments (// and /* */) are ignored.
+func ParseDecls(env *Env, src string) ([]Decl, error) {
+	p := &declParser{env: env, toks: lexDecls(src)}
+	var decls []Decl
+	for !p.eof() {
+		ds, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, ds...)
+	}
+	return decls, nil
+}
+
+// ParseType parses a single type expression such as "int", "double[16]",
+// "struct tag" or "int*". Arrays may be written with a trailing [n].
+func ParseType(env *Env, src string) (Type, error) {
+	p := &declParser{env: env, toks: lexDecls(src)}
+	t, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tkPunct && p.peek().text == "*" {
+		p.next()
+		t = NewPointer(t)
+	}
+	var dims []int64
+	for p.peek().kind == tkPunct && p.peek().text == "[" {
+		n, err := p.parseArraySuffix()
+		if err != nil {
+			return nil, err
+		}
+		dims = append(dims, n)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = NewArray(t, dims[i])
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("ctype: trailing input %q in type %q", p.peek().text, src)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// lexer
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lexDecls(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				i = len(src)
+			} else {
+				i += j + 4
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || isDigit(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tkIdent, src[i:j], i})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(src) && isDigit(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tkNumber, src[i:j], i})
+			i = j
+		default:
+			toks = append(toks, token{tkPunct, string(c), i})
+			i++
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(src)})
+	return toks
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// ---------------------------------------------------------------------------
+// parser
+
+type declParser struct {
+	env  *Env
+	toks []token
+	pos  int
+}
+
+func (p *declParser) peek() token { return p.toks[p.pos] }
+
+func (p *declParser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *declParser) eof() bool { return p.peek().kind == tkEOF }
+
+func (p *declParser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("ctype: expected %q, got %q at offset %d", text, t.text, t.pos)
+	}
+	return nil
+}
+
+// parseDecl parses one declaration statement terminated by ';'. A struct
+// definition without declarators produces no Decls.
+func (p *declParser) parseDecl() ([]Decl, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	// "struct tag { ... };" with no declarator.
+	if p.peek().text == ";" {
+		p.next()
+		return nil, nil
+	}
+	var decls []Decl
+	for {
+		d, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, d)
+		switch p.peek().text {
+		case ",":
+			p.next()
+			continue
+		case ";":
+			p.next()
+			return decls, nil
+		default:
+			return nil, fmt.Errorf("ctype: expected ',' or ';' after declarator, got %q at offset %d",
+				p.peek().text, p.peek().pos)
+		}
+	}
+}
+
+// parseBaseType parses the type specifier part of a declaration.
+func (p *declParser) parseBaseType() (Type, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return nil, fmt.Errorf("ctype: expected type, got %q at offset %d", t.text, t.pos)
+	}
+	if t.text == "struct" {
+		p.next()
+		return p.parseStructType()
+	}
+	// Multi-word primitives: unsigned int, long long, unsigned long, ...
+	words := []string{p.next().text}
+	for {
+		nt := p.peek()
+		if nt.kind == tkIdent {
+			if _, ok := PrimitiveByName(strings.Join(append(append([]string{}, words...), nt.text), " ")); ok {
+				words = append(words, p.next().text)
+				continue
+			}
+		}
+		break
+	}
+	name := strings.Join(words, " ")
+	if prim, ok := PrimitiveByName(name); ok {
+		return prim, nil
+	}
+	if len(words) == 1 {
+		if td, ok := p.env.Typedef(words[0]); ok {
+			return td, nil
+		}
+		if st, ok := p.env.Struct(words[0]); ok {
+			// Tolerate the common "typedef struct {...} Name;" idiom where
+			// later declarations say just "Name v;".
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("ctype: unknown type %q at offset %d", name, t.pos)
+}
+
+// parseStructType parses what follows the "struct" keyword: an optional tag,
+// an optional body, for reference or definition.
+func (p *declParser) parseStructType() (Type, error) {
+	var tag string
+	if p.peek().kind == tkIdent {
+		tag = p.next().text
+	}
+	if p.peek().text != "{" {
+		if tag == "" {
+			return nil, fmt.Errorf("ctype: struct with neither tag nor body at offset %d", p.peek().pos)
+		}
+		s, ok := p.env.Struct(tag)
+		if !ok {
+			return nil, fmt.Errorf("ctype: reference to undefined struct %q", tag)
+		}
+		return s, nil
+	}
+	p.next() // consume '{'
+	var fields []Field
+	for p.peek().text != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("ctype: unterminated struct body for %q", tag)
+		}
+		ds, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			fields = append(fields, Field{Name: d.Name, Type: d.Type})
+		}
+	}
+	p.next() // consume '}'
+	s := NewStruct(tag, fields)
+	if tag != "" {
+		if err := p.env.DefineStruct(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// parseDeclarator parses pointer stars, the name, and array suffixes.
+func (p *declParser) parseDeclarator(base Type) (Decl, error) {
+	t := base
+	for p.peek().text == "*" {
+		p.next()
+		t = NewPointer(t)
+	}
+	nt := p.next()
+	if nt.kind != tkIdent {
+		return Decl{}, fmt.Errorf("ctype: expected declarator name, got %q at offset %d", nt.text, nt.pos)
+	}
+	var dims []int64
+	for p.peek().text == "[" {
+		n, err := p.parseArraySuffix()
+		if err != nil {
+			return Decl{}, err
+		}
+		dims = append(dims, n)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = NewArray(t, dims[i])
+	}
+	return Decl{Name: nt.text, Type: t}, nil
+}
+
+func (p *declParser) parseArraySuffix() (int64, error) {
+	if err := p.expect("["); err != nil {
+		return 0, err
+	}
+	nt := p.next()
+	if nt.kind != tkNumber {
+		return 0, fmt.Errorf("ctype: expected array length, got %q at offset %d", nt.text, nt.pos)
+	}
+	n, err := strconv.ParseInt(nt.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ctype: bad array length %q: %v", nt.text, err)
+	}
+	if err := p.expect("]"); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

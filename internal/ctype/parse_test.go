@@ -1,0 +1,219 @@
+package ctype
+
+import "testing"
+
+func TestParseDeclsScalarsAndArrays(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `
+		int glScalar;
+		int glArray[10];
+		double d;
+		char m[4][8];
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 4 {
+		t.Fatalf("got %d decls", len(decls))
+	}
+	if decls[0].Name != "glScalar" || decls[0].Type != Int {
+		t.Errorf("decl 0 = %+v", decls[0])
+	}
+	if a, ok := decls[1].Type.(*Array); !ok || a.Len != 10 || a.Elem != Int {
+		t.Errorf("decl 1 = %+v", decls[1])
+	}
+	// char m[4][8] is an array of 4 arrays of 8 chars.
+	outer, ok := decls[3].Type.(*Array)
+	if !ok || outer.Len != 4 {
+		t.Fatalf("decl 3 = %+v", decls[3])
+	}
+	inner, ok := outer.Elem.(*Array)
+	if !ok || inner.Len != 8 || inner.Elem != Char {
+		t.Errorf("decl 3 inner = %+v", outer.Elem)
+	}
+}
+
+func TestParseDeclsStructDefinitionAndUse(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `
+		struct _typeA {
+			double d1;
+			int myArray[10];
+		};
+		struct _typeA glStruct;
+		struct _typeA glStructArray[10];
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 2 {
+		t.Fatalf("got %d decls: %+v", len(decls), decls)
+	}
+	st, ok := decls[0].Type.(*Struct)
+	if !ok || st.Size() != 48 {
+		t.Errorf("glStruct type = %v", decls[0].Type)
+	}
+	arr, ok := decls[1].Type.(*Array)
+	if !ok || arr.Len != 10 || arr.Size() != 480 {
+		t.Errorf("glStructArray type = %v", decls[1].Type)
+	}
+	if _, ok := env.Struct("_typeA"); !ok {
+		t.Error("struct _typeA not registered")
+	}
+}
+
+func TestParseDeclsInlineDefineAndDeclare(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `struct pt { int x; int y; } origin, grid[4];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 2 || decls[0].Name != "origin" || decls[1].Name != "grid" {
+		t.Fatalf("decls = %+v", decls)
+	}
+	if decls[1].Type.Size() != 32 {
+		t.Errorf("grid size = %d", decls[1].Type.Size())
+	}
+}
+
+func TestParseDeclsPointers(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `
+		struct RarelyUsed { double mY; int mZ; };
+		struct RarelyUsed *p;
+		int *q, r;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 3 {
+		t.Fatalf("decls = %+v", decls)
+	}
+	if _, ok := decls[0].Type.(*Pointer); !ok {
+		t.Errorf("p type = %v", decls[0].Type)
+	}
+	if _, ok := decls[1].Type.(*Pointer); !ok {
+		t.Errorf("q type = %v", decls[1].Type)
+	}
+	if decls[2].Type != Int {
+		t.Errorf("r type = %v", decls[2].Type)
+	}
+}
+
+func TestParseDeclsNestedStruct(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `
+		struct Inline {
+			int mFrequentlyUsed;
+			struct { double mY; int mZ; } mRarelyUsed;
+		};
+		struct Inline lS1[16];
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 1 {
+		t.Fatalf("decls = %+v", decls)
+	}
+	if decls[0].Type.Size() != 16*24 {
+		t.Errorf("lS1 size = %d, want 384", decls[0].Type.Size())
+	}
+}
+
+func TestParseDeclsComments(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `
+		// a line comment
+		int a; /* block
+		          comment */ int b;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 2 {
+		t.Errorf("decls = %+v", decls)
+	}
+}
+
+func TestParseDeclsMultiWordPrimitives(t *testing.T) {
+	env := NewEnv()
+	decls, err := ParseDecls(env, `unsigned long ul; long long ll; unsigned u;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decls[0].Type != ULong || decls[1].Type != LongLong || decls[2].Type != UInt {
+		t.Errorf("decls = %+v", decls)
+	}
+}
+
+func TestParseDeclsTypedefLookup(t *testing.T) {
+	env := NewEnv()
+	st := NewStruct("MyStruct", []Field{{Name: "mX", Type: Int}})
+	if err := env.DefineTypedef("MyStruct", st); err != nil {
+		t.Fatal(err)
+	}
+	decls, err := ParseDecls(env, `MyStruct lAoS[16];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decls[0].Type.Size() != 64 {
+		t.Errorf("lAoS size = %d", decls[0].Type.Size())
+	}
+}
+
+func TestParseDeclsErrors(t *testing.T) {
+	for _, bad := range []string{
+		`bogus x;`,
+		`int;` + ` int`,       // missing declarator then truncation
+		`struct { int x } v;`, // missing ';' after field
+		`int a[];`,
+		`int a[x];`,
+		`struct undefinedref v;`,
+		`struct T { int x; }; struct T { int y; };`, // redefinition
+		`int a b;`,
+	} {
+		if _, err := ParseDecls(NewEnv(), bad); err == nil {
+			t.Errorf("ParseDecls(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	env := NewEnv()
+	if _, err := ParseDecls(env, `struct S { int a; };`); err != nil {
+		t.Fatal(err)
+	}
+	ty, err := ParseType(env, "struct S[4]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Size() != 16 {
+		t.Errorf("struct S[4] size = %d", ty.Size())
+	}
+	ty, err = ParseType(env, "int*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ty.(*Pointer); !ok {
+		t.Errorf("int* parsed as %v", ty)
+	}
+	if _, err := ParseType(env, "int extra junk"); err == nil {
+		t.Error("trailing junk accepted")
+	}
+}
+
+func TestEnvDuplicateTypedef(t *testing.T) {
+	env := NewEnv()
+	if err := env.DefineTypedef("T", Int); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.DefineTypedef("T", Double); err == nil {
+		t.Error("duplicate typedef accepted")
+	}
+}
+
+func TestEnvAnonymousStructRejected(t *testing.T) {
+	if err := NewEnv().DefineStruct(NewStruct("", nil)); err == nil {
+		t.Error("anonymous struct registration accepted")
+	}
+}

@@ -1,0 +1,278 @@
+package ctype
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveSizes(t *testing.T) {
+	cases := []struct {
+		p          *Primitive
+		size, algn int64
+	}{
+		{Char, 1, 1}, {UChar, 1, 1}, {Short, 2, 2}, {UShort, 2, 2},
+		{Int, 4, 4}, {UInt, 4, 4}, {Long, 8, 8}, {ULong, 8, 8},
+		{LongLong, 8, 8}, {Float, 4, 4}, {Double, 8, 8},
+	}
+	for _, c := range cases {
+		if got := c.p.Size(); got != c.size {
+			t.Errorf("sizeof(%s) = %d, want %d", c.p, got, c.size)
+		}
+		if got := c.p.Align(); got != c.algn {
+			t.Errorf("alignof(%s) = %d, want %d", c.p, got, c.algn)
+		}
+	}
+}
+
+func TestPrimitiveByName(t *testing.T) {
+	if p, ok := PrimitiveByName("unsigned long"); !ok || p != ULong {
+		t.Errorf("PrimitiveByName(unsigned long) = %v, %v", p, ok)
+	}
+	if _, ok := PrimitiveByName("quux"); ok {
+		t.Error("PrimitiveByName(quux) unexpectedly succeeded")
+	}
+}
+
+// The paper's Listing 3 struct: struct { int mX; double mY; } must be 16
+// bytes with mY at offset 8 — this padding is exactly why SoA→AoS changes
+// the address map.
+func TestStructLayoutIntDouble(t *testing.T) {
+	s := NewStruct("MyStruct", []Field{
+		{Name: "mX", Type: Int},
+		{Name: "mY", Type: Double},
+	})
+	if s.Size() != 16 {
+		t.Errorf("sizeof = %d, want 16", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("alignof = %d, want 8", s.Align())
+	}
+	mY, ok := s.FieldByName("mY")
+	if !ok || mY.Offset != 8 {
+		t.Errorf("offsetof(mY) = %d (ok=%v), want 8", mY.Offset, ok)
+	}
+	mX, _ := s.FieldByName("mX")
+	if mX.Offset != 0 {
+		t.Errorf("offsetof(mX) = %d, want 0", mX.Offset)
+	}
+}
+
+// The paper's Listing 1 struct: struct _typeA { double d1; int myArray[10]; }.
+func TestStructLayoutListing1(t *testing.T) {
+	s := NewStruct("_typeA", []Field{
+		{Name: "d1", Type: Double},
+		{Name: "myArray", Type: NewArray(Int, 10)},
+	})
+	if s.Size() != 48 {
+		t.Errorf("sizeof(struct _typeA) = %d, want 48", s.Size())
+	}
+	arr, _ := s.FieldByName("myArray")
+	if arr.Offset != 8 {
+		t.Errorf("offsetof(myArray) = %d, want 8", arr.Offset)
+	}
+}
+
+func TestStructTrailingPadding(t *testing.T) {
+	// struct { double d; char c; } → size 16 (7 bytes trailing pad).
+	s := NewStruct("", []Field{
+		{Name: "d", Type: Double},
+		{Name: "c", Type: Char},
+	})
+	if s.Size() != 16 {
+		t.Errorf("sizeof = %d, want 16", s.Size())
+	}
+}
+
+func TestStructInteriorPadding(t *testing.T) {
+	// struct { char c; int i; short s; } → c@0, i@4, s@8, size 12.
+	s := NewStruct("", []Field{
+		{Name: "c", Type: Char},
+		{Name: "i", Type: Int},
+		{Name: "s", Type: Short},
+	})
+	i, _ := s.FieldByName("i")
+	sh, _ := s.FieldByName("s")
+	if i.Offset != 4 || sh.Offset != 8 || s.Size() != 12 {
+		t.Errorf("layout = i@%d s@%d size %d, want i@4 s@8 size 12", i.Offset, sh.Offset, s.Size())
+	}
+}
+
+func TestEmptyStruct(t *testing.T) {
+	s := NewStruct("empty", nil)
+	if s.Size() != 0 || s.Align() != 1 {
+		t.Errorf("empty struct: size %d align %d, want 0 and 1", s.Size(), s.Align())
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	// Paper Listing 6: struct { int mFrequentlyUsed; struct { double mY; int mZ; } mRarelyUsed; }
+	inner := NewStruct("", []Field{
+		{Name: "mY", Type: Double},
+		{Name: "mZ", Type: Int},
+	})
+	if inner.Size() != 16 {
+		t.Fatalf("inner size = %d, want 16", inner.Size())
+	}
+	outer := NewStruct("MyInlineStruct", []Field{
+		{Name: "mFrequentlyUsed", Type: Int},
+		{Name: "mRarelyUsed", Type: inner},
+	})
+	ru, _ := outer.FieldByName("mRarelyUsed")
+	if ru.Offset != 8 {
+		t.Errorf("offsetof(mRarelyUsed) = %d, want 8", ru.Offset)
+	}
+	if outer.Size() != 24 {
+		t.Errorf("sizeof(MyInlineStruct) = %d, want 24", outer.Size())
+	}
+}
+
+func TestArrayProperties(t *testing.T) {
+	a := NewArray(Double, 16)
+	if a.Size() != 128 || a.Align() != 8 {
+		t.Errorf("double[16]: size %d align %d, want 128 and 8", a.Size(), a.Align())
+	}
+	aa := NewArray(a, 3)
+	if aa.Size() != 384 {
+		t.Errorf("double[3][16]: size %d, want 384", aa.Size())
+	}
+	if s := aa.String(); s != "double[16][3]" && s != "double[3][16]" {
+		// String renders elem first then this dimension.
+		t.Logf("array spelling: %s", s)
+	}
+}
+
+func TestArrayNegativeLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewArray(-1) did not panic")
+		}
+	}()
+	NewArray(Int, -1)
+}
+
+func TestPointerProperties(t *testing.T) {
+	p := NewPointer(NewStruct("RarelyUsed", []Field{{Name: "mY", Type: Double}}))
+	if p.Size() != 8 || p.Align() != 8 {
+		t.Errorf("pointer: size %d align %d, want 8 and 8", p.Size(), p.Align())
+	}
+	if p.String() != "struct RarelyUsed*" {
+		t.Errorf("pointer spelling = %q", p.String())
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	s := NewStruct("", []Field{
+		{Name: "c", Type: Char},
+		{Name: "i", Type: Int},
+	})
+	if f, ok := s.FieldAt(0); !ok || f.Name != "c" {
+		t.Errorf("FieldAt(0) = %v %v, want c", f.Name, ok)
+	}
+	if _, ok := s.FieldAt(2); ok {
+		t.Error("FieldAt(2) should land in padding")
+	}
+	if f, ok := s.FieldAt(5); !ok || f.Name != "i" {
+		t.Errorf("FieldAt(5) = %v %v, want i", f.Name, ok)
+	}
+}
+
+func TestIsAggregate(t *testing.T) {
+	if IsAggregate(Int) {
+		t.Error("int is not an aggregate")
+	}
+	if !IsAggregate(NewArray(Int, 2)) {
+		t.Error("int[2] is an aggregate")
+	}
+	if !IsAggregate(NewStruct("s", nil)) {
+		t.Error("struct is an aggregate")
+	}
+	if IsAggregate(NewPointer(Int)) {
+		t.Error("int* is not an aggregate")
+	}
+}
+
+func TestAlignUpProperty(t *testing.T) {
+	f := func(off uint16, alignExp uint8) bool {
+		align := int64(1) << (alignExp % 5) // 1,2,4,8,16
+		o := int64(off)
+		r := AlignUp(o, align)
+		return r >= o && r%align == 0 && r-o < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: struct size is always a multiple of struct alignment, and fields
+// never overlap and appear in declaration order.
+func TestStructLayoutInvariants(t *testing.T) {
+	prims := []*Primitive{Char, Short, Int, Long, Float, Double}
+	f := func(picks []uint8) bool {
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		var fields []Field
+		for i, p := range picks {
+			fields = append(fields, Field{
+				Name: "f" + string(rune('a'+i)),
+				Type: prims[int(p)%len(prims)],
+			})
+		}
+		s := NewStruct("q", fields)
+		if s.Size()%s.Align() != 0 {
+			return false
+		}
+		var prevEnd int64
+		for _, fl := range s.Fields {
+			if fl.Offset < prevEnd || fl.Offset%fl.Type.Align() != 0 {
+				return false
+			}
+			prevEnd = fl.Offset + fl.Type.Size()
+		}
+		return prevEnd <= s.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncompleteStruct(t *testing.T) {
+	s := NewIncompleteStruct("node")
+	if !s.Incomplete() || s.Size() != 0 {
+		t.Fatalf("incomplete = %v size=%d", s.Incomplete(), s.Size())
+	}
+	// Usable behind a pointer immediately.
+	p := NewPointer(s)
+	if p.Size() != 8 {
+		t.Errorf("pointer to incomplete size = %d", p.Size())
+	}
+	if err := s.Complete([]Field{
+		{Name: "value", Type: Int},
+		{Name: "next", Type: p},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Incomplete() || s.Size() != 16 {
+		t.Errorf("completed: incomplete=%v size=%d", s.Incomplete(), s.Size())
+	}
+	next, _ := s.FieldByName("next")
+	if next.Offset != 8 {
+		t.Errorf("next offset = %d", next.Offset)
+	}
+	// Redefinition rejected.
+	if err := s.Complete(nil); err == nil {
+		t.Error("double Complete accepted")
+	}
+}
+
+func TestCompleteRejectsSelfByValue(t *testing.T) {
+	s := NewIncompleteStruct("bad")
+	if err := s.Complete([]Field{{Name: "self", Type: s}}); err == nil {
+		t.Error("struct containing itself accepted")
+	}
+	s2 := NewIncompleteStruct("a")
+	other := NewIncompleteStruct("b")
+	if err := s2.Complete([]Field{{Name: "f", Type: other}}); err == nil {
+		t.Error("field of incomplete type accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package dinero is the trace-consuming front end of the cache simulator —
+// the role DineroIV plays in the paper, including the modifications the
+// authors describe: statistics are attributed to the function and the
+// program variable named in each trace line, per-set counters feed the
+// paper's figures, and a variable×variable eviction matrix exposes
+// "conflicts between program structures".
+package dinero
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/trace"
+)
+
+// NoSymbol is the attribution bucket for records without debug info.
+const NoSymbol = "(nosym)"
+
+// Options configure a simulation.
+type Options struct {
+	// L1 is the first-level (data) cache. Required.
+	L1 cache.Config
+	// L2, when non-nil, adds a second level behind L1.
+	L2 *cache.Config
+	// Translate, when non-nil, maps every record's virtual address before
+	// it reaches the cache — e.g. pagemap.Mapper.MustTranslate to simulate
+	// physically indexed (shared) caches, the paper's §VI remedy for
+	// virtual-address-only traces.
+	Translate func(uint64) uint64
+}
+
+// VarSeries accumulates one variable's cache behaviour: the per-set series
+// plotted in the paper's figures plus totals.
+type VarSeries struct {
+	Name     string
+	Accesses int64
+	Hits     int64
+	Misses   int64
+	PerSet   []cache.SetStats
+}
+
+// FuncStats accumulates one function's totals.
+type FuncStats struct {
+	Name     string
+	Accesses int64
+	Hits     int64
+	Misses   int64
+}
+
+// Conflict is one cell of the eviction matrix: Evictor's fill replaced a
+// line that Victim had filled, Count times.
+type Conflict struct {
+	Evictor string
+	Victim  string
+	Count   int64
+}
+
+// Simulator drives a cache hierarchy from Gleipnir trace records.
+type Simulator struct {
+	l1, l2 *cache.Cache
+
+	vars      map[string]*VarSeries
+	funcs     map[string]*FuncStats
+	conflicts map[[2]string]int64
+	translate func(uint64) uint64
+	records   int64
+	ignored   int64
+}
+
+// New builds a simulator.
+func New(opts Options) (*Simulator, error) {
+	var l2 *cache.Cache
+	if opts.L2 != nil {
+		var err error
+		l2, err = cache.New(*opts.L2, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l1, err := cache.New(opts.L1, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		l1:        l1,
+		l2:        l2,
+		vars:      map[string]*VarSeries{},
+		funcs:     map[string]*FuncStats{},
+		conflicts: map[[2]string]int64{},
+		translate: opts.Translate,
+	}, nil
+}
+
+// L1 returns the first-level cache.
+func (s *Simulator) L1() *cache.Cache { return s.l1 }
+
+// L2 returns the second-level cache or nil.
+func (s *Simulator) L2() *cache.Cache { return s.l2 }
+
+// Records returns the number of trace records consumed.
+func (s *Simulator) Records() int64 { return s.records }
+
+// varKey buckets a record by its symbolic root variable.
+func varKey(rec *trace.Record) string {
+	if !rec.HasSym {
+		return NoSymbol
+	}
+	return rec.Var.Root
+}
+
+// Feed simulates one trace record. Loads access the cache once; stores
+// likewise; modifies perform a read followed by a write (the two halves of
+// the RMW). X records are counted but do not touch the cache.
+func (s *Simulator) Feed(rec *trace.Record) {
+	s.records++
+	owner := varKey(rec)
+	switch rec.Op {
+	case trace.Load:
+		s.apply(rec, owner, cache.Read)
+	case trace.Store:
+		s.apply(rec, owner, cache.Write)
+	case trace.Modify:
+		s.apply(rec, owner, cache.Read)
+		s.apply(rec, owner, cache.Write)
+	default:
+		s.ignored++
+	}
+}
+
+func (s *Simulator) apply(rec *trace.Record, owner string, kind cache.Kind) {
+	addr := rec.Addr
+	if s.translate != nil {
+		addr = s.translate(addr)
+	}
+	outcomes := s.l1.Access(kind, addr, rec.Size, owner)
+	vs := s.varSeries(owner)
+	fs := s.funcStats(rec.Func)
+	for _, o := range outcomes {
+		vs.Accesses++
+		fs.Accesses++
+		if o.Hit {
+			vs.Hits++
+			fs.Hits++
+			vs.PerSet[o.Set].Hits++
+		} else {
+			vs.Misses++
+			fs.Misses++
+			vs.PerSet[o.Set].Misses++
+		}
+		if o.Evicted && o.EvictedOwner != "" && o.EvictedOwner != owner {
+			s.conflicts[[2]string{owner, o.EvictedOwner}]++
+		}
+	}
+}
+
+func (s *Simulator) varSeries(name string) *VarSeries {
+	vs := s.vars[name]
+	if vs == nil {
+		vs = &VarSeries{Name: name, PerSet: make([]cache.SetStats, s.l1.Config().Sets())}
+		s.vars[name] = vs
+	}
+	return vs
+}
+
+func (s *Simulator) funcStats(name string) *FuncStats {
+	fs := s.funcs[name]
+	if fs == nil {
+		fs = &FuncStats{Name: name}
+		s.funcs[name] = fs
+	}
+	return fs
+}
+
+// Process simulates a record slice.
+func (s *Simulator) Process(recs []trace.Record) {
+	for i := range recs {
+		s.Feed(&recs[i])
+	}
+}
+
+// ProcessReader streams records from a trace reader until EOF.
+func (s *Simulator) ProcessReader(rd *trace.Reader) error {
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Feed(&rec)
+	}
+}
+
+// Var returns the series for one variable (nil when unseen).
+func (s *Simulator) Var(name string) *VarSeries { return s.vars[name] }
+
+// Vars returns all variable series sorted by descending access count, then
+// name.
+func (s *Simulator) Vars() []*VarSeries {
+	out := make([]*VarSeries, 0, len(s.vars))
+	for _, vs := range s.vars {
+		out = append(out, vs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Funcs returns per-function stats sorted by descending access count.
+func (s *Simulator) Funcs() []*FuncStats {
+	out := make([]*FuncStats, 0, len(s.funcs))
+	for _, fs := range s.funcs {
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Conflicts returns the eviction matrix sorted by descending count.
+func (s *Simulator) Conflicts() []Conflict {
+	out := make([]Conflict, 0, len(s.conflicts))
+	for k, n := range s.conflicts {
+		out = append(out, Conflict{Evictor: k[0], Victim: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Evictor != out[j].Evictor {
+			return out[i].Evictor < out[j].Evictor
+		}
+		return out[i].Victim < out[j].Victim
+	})
+	return out
+}
+
+// Report renders the full text report: overall DineroIV-style statistics,
+// per-function and per-variable tables, and the conflict matrix.
+func (s *Simulator) Report() string {
+	var b strings.Builder
+	cfg := s.l1.Config()
+	fmt.Fprintf(&b, "---Simulation begins.\n")
+	fmt.Fprintf(&b, "l1-dcache: %d bytes, %d-byte blocks, %d-way, %s replacement, %s, %s\n",
+		cfg.Size, cfg.BlockSize, displayAssoc(cfg), cfg.Repl, cfg.Write, cfg.Alloc)
+	b.WriteString(s.l1.Stats().Report("l1-data"))
+	if s.l2 != nil {
+		b.WriteString(s.l2.Stats().Report("l2-unified"))
+	}
+
+	fmt.Fprintf(&b, "\nPer-function statistics\n")
+	fmt.Fprintf(&b, " %-24s %10s %10s %10s %8s\n", "function", "accesses", "hits", "misses", "miss%")
+	for _, fs := range s.Funcs() {
+		fmt.Fprintf(&b, " %-24s %10d %10d %10d %7.2f%%\n",
+			fs.Name, fs.Accesses, fs.Hits, fs.Misses, pct(fs.Misses, fs.Accesses))
+	}
+
+	fmt.Fprintf(&b, "\nPer-variable statistics\n")
+	fmt.Fprintf(&b, " %-24s %10s %10s %10s %8s\n", "variable", "accesses", "hits", "misses", "miss%")
+	for _, vs := range s.Vars() {
+		fmt.Fprintf(&b, " %-24s %10d %10d %10d %7.2f%%\n",
+			vs.Name, vs.Accesses, vs.Hits, vs.Misses, pct(vs.Misses, vs.Accesses))
+	}
+
+	if cs := s.Conflicts(); len(cs) > 0 {
+		fmt.Fprintf(&b, "\nStructure conflicts (evictor ← victim)\n")
+		for _, c := range cs {
+			fmt.Fprintf(&b, " %-24s evicted %-24s %8d times\n", c.Evictor, c.Victim, c.Count)
+		}
+	}
+	fmt.Fprintf(&b, "---Simulation complete.\n")
+	return b.String()
+}
+
+func displayAssoc(cfg cache.Config) int {
+	if cfg.Assoc == 0 {
+		return int(cfg.Size / cfg.BlockSize)
+	}
+	return cfg.Assoc
+}
+
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

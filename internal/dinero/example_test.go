@@ -1,0 +1,29 @@
+package dinero_test
+
+import (
+	"fmt"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/dinero"
+	"tracedst/internal/trace"
+)
+
+// Example shows the per-variable attribution the modified DineroIV adds: a
+// store misses, the re-load hits, both charged to glScalar.
+func Example() {
+	sim, err := dinero.New(dinero.Options{L1: cache.Paper32KDirect()})
+	if err != nil {
+		panic(err)
+	}
+	_, recs, err := trace.ParseAll(`START PID 1
+S 000601040 4 main GV glScalar
+L 000601040 4 main GV glScalar
+`)
+	if err != nil {
+		panic(err)
+	}
+	sim.Process(recs)
+	vs := sim.Var("glScalar")
+	fmt.Printf("glScalar: %d accesses, %d hits, %d misses\n", vs.Accesses, vs.Hits, vs.Misses)
+	// Output: glScalar: 2 accesses, 1 hits, 1 misses
+}

@@ -1,0 +1,404 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§IV-V): the per-set cache histograms of Figures 3, 4, 6, 7, 10 and 11
+// and the trace diffs of Figures 5, 8 and 9, using the same workloads,
+// rules and cache geometries. cmd/experiments prints them; bench_test.go
+// measures them; EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tracedst/internal/analysis"
+	"tracedst/internal/cache"
+	"tracedst/internal/dinero"
+	"tracedst/internal/rules"
+	"tracedst/internal/trace"
+	"tracedst/internal/tracediff"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+	"tracedst/internal/xform"
+)
+
+// LEN mirrors the paper: 16 elements for transformations 1 and 2 (the rule
+// files of Listings 5 and 8 say [16]), 1024 for transformation 3 (Listing
+// 10's 4 KB original array).
+const (
+	LenT1 = 16
+	LenT2 = 16
+	LenT3 = 1024
+)
+
+// Result is one regenerated figure.
+type Result struct {
+	// ID is the figure identifier, e.g. "fig3".
+	ID string
+	// Title describes the figure.
+	Title string
+	// Cache names the simulated geometry ("" for pure diff figures).
+	Cache string
+	// Plot holds per-set series for histogram figures (nil for diffs).
+	Plot *analysis.Plot
+	// Diff holds the trace alignment for diff figures (nil otherwise).
+	Diff *tracediff.Diff
+	// Sim is the finished simulator for histogram figures.
+	Sim *dinero.Simulator
+	// Notes are measured observations to compare against the paper's
+	// claims.
+	Notes []string
+	// Records is the number of trace records involved.
+	Records int
+}
+
+func (r *Result) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// traceT1 runs the SoA program.
+func traceT1() ([]trace.Record, error) {
+	res, err := tracer.Run(workloads.Trans1SoA, map[string]string{"LEN": fmt.Sprint(LenT1)}, tracer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
+
+// transformT1 applies the Listing 5 rule.
+func transformT1(orig []trace.Record) ([]trace.Record, error) {
+	rule, err := rules.Parse(workloads.RuleTrans1ForLen(LenT1))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := xform.New(xform.Options{}, rule)
+	if err != nil {
+		return nil, err
+	}
+	return eng.TransformAll(orig)
+}
+
+func traceT2() ([]trace.Record, error) {
+	res, err := tracer.Run(workloads.Trans2Inline, map[string]string{"LEN": fmt.Sprint(LenT2)}, tracer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
+
+func transformT2(orig []trace.Record) ([]trace.Record, error) {
+	rule, err := rules.Parse(workloads.RuleTrans2ForLen(LenT2))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := xform.New(xform.Options{}, rule)
+	if err != nil {
+		return nil, err
+	}
+	return eng.TransformAll(orig)
+}
+
+func traceT3() ([]trace.Record, error) {
+	res, err := tracer.Run(workloads.Trans3Contiguous, map[string]string{"LEN": fmt.Sprint(LenT3)}, tracer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
+
+func transformT3(orig []trace.Record) ([]trace.Record, error) {
+	rule, err := rules.Parse(workloads.RuleTrans3ForLen(LenT3, 16, 8))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := xform.New(xform.Options{}, rule)
+	if err != nil {
+		return nil, err
+	}
+	return eng.TransformAll(orig)
+}
+
+// simulate runs records through a fresh simulator.
+func simulate(recs []trace.Record, cfg cache.Config) (*dinero.Simulator, error) {
+	sim, err := dinero.New(dinero.Options{L1: cfg})
+	if err != nil {
+		return nil, err
+	}
+	sim.Process(recs)
+	return sim, nil
+}
+
+func histogramResult(id, title string, recs []trace.Record, cfg cache.Config) (*Result, error) {
+	sim, err := simulate(recs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:      id,
+		Title:   title,
+		Cache:   fmt.Sprintf("%d bytes, %d-byte blocks, %s", cfg.Size, cfg.BlockSize, assocName(cfg)),
+		Plot:    analysis.FromSimulator(title, sim, false),
+		Sim:     sim,
+		Records: len(recs),
+	}
+	return r, nil
+}
+
+func assocName(cfg cache.Config) string {
+	if cfg.Assoc == 1 {
+		return "1-way"
+	}
+	return fmt.Sprintf("%d-way %s", cfg.Assoc, cfg.Repl)
+}
+
+// Fig3 — per-set hits/misses of the SoA program on the 32 KB direct-mapped
+// cache (series lSoA and lI).
+func Fig3() (*Result, error) {
+	recs, err := traceT1()
+	if err != nil {
+		return nil, err
+	}
+	r, err := histogramResult("fig3", "Structure of Arrays (original)", recs, cache.Paper32KDirect())
+	if err != nil {
+		return nil, err
+	}
+	addOccupancyNotes(r, "lSoA", "lI")
+	return r, nil
+}
+
+// Fig4 — the same trace after the SoA→AoS rule (series lAoS and lI).
+func Fig4() (*Result, error) {
+	orig, err := traceT1()
+	if err != nil {
+		return nil, err
+	}
+	recs, err := transformT1(orig)
+	if err != nil {
+		return nil, err
+	}
+	r, err := histogramResult("fig4", "Array of Structures (transformed)", recs, cache.Paper32KDirect())
+	if err != nil {
+		return nil, err
+	}
+	addOccupancyNotes(r, "lAoS", "lI")
+	if err := addUniformityNote(r, "lAoS"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig5 — the side-by-side diff of the original and transformed T1 traces.
+func Fig5() (*Result, error) {
+	orig, err := traceT1()
+	if err != nil {
+		return nil, err
+	}
+	got, err := transformT1(orig)
+	if err != nil {
+		return nil, err
+	}
+	d := tracediff.New(orig, got)
+	r := &Result{
+		ID:      "fig5",
+		Title:   "SoA→AoS trace diff",
+		Diff:    d,
+		Records: len(got),
+	}
+	st := d.Stats()
+	r.notef("lines: %d same, %d rewritten, %d inserted, %d deleted",
+		st.Same, st.Rewritten, st.Inserted, st.Deleted)
+	r.notef("every lSoA access was renamed to lAoS with a new base address; no extra accesses (1:1 mapping)")
+	return r, nil
+}
+
+// Fig6 — per-set stats of the inline nested-structure program.
+func Fig6() (*Result, error) {
+	recs, err := traceT2()
+	if err != nil {
+		return nil, err
+	}
+	r, err := histogramResult("fig6", "Single level nested structure (original)", recs, cache.Paper32KDirect())
+	if err != nil {
+		return nil, err
+	}
+	addOccupancyNotes(r, "lS1", "lI")
+	return r, nil
+}
+
+// Fig7 — per-set stats after outlining (series lS2, lStorageForRarelyUsed,
+// lI) with the extra pointer loads.
+func Fig7() (*Result, error) {
+	orig, err := traceT2()
+	if err != nil {
+		return nil, err
+	}
+	recs, err := transformT2(orig)
+	if err != nil {
+		return nil, err
+	}
+	r, err := histogramResult("fig7", "Structure access through indirection (transformed)", recs, cache.Paper32KDirect())
+	if err != nil {
+		return nil, err
+	}
+	addOccupancyNotes(r, "lS2", "lStorageForRarelyUsed", "lI")
+	r.notef("indirection adds %d pointer loads (one per outlined access)", len(recs)-len(orig))
+	return r, nil
+}
+
+// Fig8 — the T2 trace diff with the inserted indirection loads.
+func Fig8() (*Result, error) {
+	orig, err := traceT2()
+	if err != nil {
+		return nil, err
+	}
+	got, err := transformT2(orig)
+	if err != nil {
+		return nil, err
+	}
+	d := tracediff.New(orig, got)
+	r := &Result{ID: "fig8", Title: "Nested structure to structure with indirection: trace diff",
+		Diff: d, Records: len(got)}
+	st := d.Stats()
+	r.notef("lines: %d same, %d rewritten, %d inserted (pointer loads), %d deleted",
+		st.Same, st.Rewritten, st.Inserted, st.Deleted)
+	return r, nil
+}
+
+// Fig9 — the T3 trace diff with injected stride-arithmetic loads.
+func Fig9() (*Result, error) {
+	orig, err := traceT3()
+	if err != nil {
+		return nil, err
+	}
+	got, err := transformT3(orig)
+	if err != nil {
+		return nil, err
+	}
+	d := tracediff.New(orig, got)
+	r := &Result{ID: "fig9", Title: "Contiguous array to set-pinned array: trace diff",
+		Diff: d, Records: len(got)}
+	st := d.Stats()
+	r.notef("lines: %d same, %d rewritten, %d inserted (ITEMSPERLINE/lI arithmetic), %d deleted",
+		st.Same, st.Rewritten, st.Inserted, st.Deleted)
+	return r, nil
+}
+
+// Fig10 — the contiguous sweep on the PowerPC 440 cache.
+func Fig10() (*Result, error) {
+	recs, err := traceT3()
+	if err != nil {
+		return nil, err
+	}
+	r, err := histogramResult("fig10", "Contiguous array (PPC440 64-way round-robin)", recs, cache.PowerPC440())
+	if err != nil {
+		return nil, err
+	}
+	addOccupancyNotes(r, "lContiguousArray", "lI")
+	return r, nil
+}
+
+// Fig11 — the strided/pinned sweep on the PowerPC 440 cache.
+func Fig11() (*Result, error) {
+	orig, err := traceT3()
+	if err != nil {
+		return nil, err
+	}
+	recs, err := transformT3(orig)
+	if err != nil {
+		return nil, err
+	}
+	r, err := histogramResult("fig11", "Array striding (PPC440 64-way round-robin)", recs, cache.PowerPC440())
+	if err != nil {
+		return nil, err
+	}
+	addOccupancyNotes(r, "lSetHashingArray", "ITEMSPERLINE", "lI")
+	if s, ok := r.Plot.SeriesByLabel("lSetHashingArray"); ok {
+		occ := analysis.OccupancyOf(s)
+		r.notef("set pinning: %.0f%% of lSetHashingArray traffic in set %d (sets touched: %d)",
+			100*occ.DominantShare, occ.DominantSet, occ.SetsTouched)
+	}
+	return r, nil
+}
+
+// addOccupancyNotes records where each named series landed.
+func addOccupancyNotes(r *Result, names ...string) {
+	for _, name := range names {
+		s, ok := r.Plot.SeriesByLabel(name)
+		if !ok {
+			r.notef("series %s: absent", name)
+			continue
+		}
+		occ := analysis.OccupancyOf(s)
+		r.notef("%s: %d hits, %d misses over %d sets (dominant set %d, %.0f%%)",
+			name, occ.Hits, occ.Misses, occ.SetsTouched, occ.DominantSet, 100*occ.DominantShare)
+	}
+}
+
+// addUniformityNote measures the per-set access spread of a series (the
+// paper's "more uniformly accessed pattern" claim for Fig 4).
+func addUniformityNote(r *Result, name string) error {
+	s, ok := r.Plot.SeriesByLabel(name)
+	if !ok {
+		return fmt.Errorf("experiments: series %s missing", name)
+	}
+	var min, max int64 = -1, 0
+	for i := range s.Hits {
+		t := s.Hits[i] + s.Misses[i]
+		if t == 0 {
+			continue
+		}
+		if min < 0 || t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	r.notef("%s per-set access spread: min %d, max %d (closer = more uniform)", name, min, max)
+	return nil
+}
+
+// registry of all figures.
+var registry = map[string]func() (*Result, error){
+	"fig3": Fig3, "fig4": Fig4, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
+	"fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
+}
+
+// IDs returns the known figure ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// fig3 < fig4 < … < fig11 numerically.
+		return figNum(out[i]) < figNum(out[j])
+	})
+	return out
+}
+
+func figNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "fig%d", &n)
+	return n
+}
+
+// Run regenerates one figure by id.
+func Run(id string) (*Result, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (known: %v)", id, IDs())
+	}
+	return f()
+}
+
+// All regenerates every figure in order.
+func All() ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

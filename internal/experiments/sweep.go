@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/rules"
+	"tracedst/internal/trace"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+	"tracedst/internal/xform"
+)
+
+// SweepPoint is one cache size of a layout sweep.
+type SweepPoint struct {
+	CacheBytes int64
+	// MissesOrig / MissesXform are total L1 misses of the original and
+	// transformed traces.
+	MissesOrig  int64
+	MissesXform int64
+}
+
+// Sweep compares a transformation across cache sizes — the "who wins
+// where" view the paper's single-geometry figures cannot show.
+type SweepResult struct {
+	ID    string
+	Title string
+	// Geometry note (block size, associativity).
+	Geometry string
+	Points   []SweepPoint
+}
+
+// Winner reports which side has fewer misses at each size: '<' orig wins,
+// '>' transformed wins, '=' tie.
+func (s *SweepResult) Winner(i int) byte {
+	p := s.Points[i]
+	switch {
+	case p.MissesOrig < p.MissesXform:
+		return '<'
+	case p.MissesOrig > p.MissesXform:
+		return '>'
+	default:
+		return '='
+	}
+}
+
+// Table renders the sweep.
+func (s *SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", s.ID, s.Title, s.Geometry)
+	fmt.Fprintf(&b, "%-12s %14s %14s  %s\n", "cache bytes", "orig misses", "xform misses", "winner")
+	for i, p := range s.Points {
+		var who string
+		switch s.Winner(i) {
+		case '>':
+			who = "transformed"
+		case '<':
+			who = "original"
+		default:
+			who = "tie"
+		}
+		fmt.Fprintf(&b, "%-12d %14d %14d  %s\n", p.CacheBytes, p.MissesOrig, p.MissesXform, who)
+	}
+	return b.String()
+}
+
+// DefaultSweepSizes are the cache sizes swept (32-byte blocks, direct
+// mapped unless noted).
+var DefaultSweepSizes = []int64{256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+func missesAt(recs []trace.Record, cfg cache.Config) (int64, error) {
+	sim, err := simulate(recs, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return sim.L1().Stats().Misses(), nil
+}
+
+// sweep runs orig and xform traces over the default sizes.
+func sweep(id, title string, orig, xform []trace.Record, assoc int) (*SweepResult, error) {
+	s := &SweepResult{
+		ID:       id,
+		Title:    title,
+		Geometry: fmt.Sprintf("32-byte blocks, %d-way, LRU", assoc),
+	}
+	for _, size := range DefaultSweepSizes {
+		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: assoc}
+		mo, err := missesAt(orig, cfg)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := missesAt(xform, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, SweepPoint{CacheBytes: size, MissesOrig: mo, MissesXform: mx})
+	}
+	return s, nil
+}
+
+// SweepT1 sweeps transformation 1 (SoA vs AoS) across cache sizes.
+func SweepT1() (*SweepResult, error) {
+	orig, err := traceT1()
+	if err != nil {
+		return nil, err
+	}
+	xf, err := transformT1(orig)
+	if err != nil {
+		return nil, err
+	}
+	return sweep("sweep-t1", "SoA (orig) vs AoS (transformed)", orig, xf, 1)
+}
+
+// SweepT2 sweeps transformation 2 (inline vs outlined) across cache sizes.
+func SweepT2() (*SweepResult, error) {
+	orig, err := traceT2()
+	if err != nil {
+		return nil, err
+	}
+	xf, err := transformT2(orig)
+	if err != nil {
+		return nil, err
+	}
+	return sweep("sweep-t2", "inline nested (orig) vs outlined (transformed)", orig, xf, 1)
+}
+
+// SweepT3 sweeps transformation 3 (contiguous vs set-pinned) on a 64-way
+// round-robin geometry scaled down with size.
+func SweepT3() (*SweepResult, error) {
+	orig, err := traceT3()
+	if err != nil {
+		return nil, err
+	}
+	xf, err := transformT3(orig)
+	if err != nil {
+		return nil, err
+	}
+	s := &SweepResult{
+		ID:       "sweep-t3",
+		Title:    "contiguous (orig) vs set-pinned (transformed)",
+		Geometry: "32-byte blocks, 64-way, round-robin",
+	}
+	for _, size := range []int64{4096, 8192, 16384, 32768, 65536} {
+		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: 64, Repl: cache.ReplRoundRobin}
+		mo, err := missesAt(orig, cfg)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := missesAt(xf, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, SweepPoint{CacheBytes: size, MissesOrig: mo, MissesXform: mx})
+	}
+	return s, nil
+}
+
+// SweepT2Hot sweeps transformation 2 under its intended access pattern — a
+// loop touching only the hot member. The full-touch sweeps above honestly
+// show the transformations losing (padding and indirection cost extra
+// blocks when every member is touched once); outlining pays off when the
+// cold members stay cold.
+func SweepT2Hot() (*SweepResult, error) {
+	const n = 128
+	res, err := tracer.Run(workloads.Trans2HotLoop, map[string]string{"LEN": fmt.Sprint(n)}, tracer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rule, err := rules.Parse(workloads.RuleTrans2ForLen(n))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := xform.New(xform.Options{}, rule)
+	if err != nil {
+		return nil, err
+	}
+	xf, err := eng.TransformAll(res.Records)
+	if err != nil {
+		return nil, err
+	}
+	return sweep("sweep-t2-hot", "hot-only loop: inline (orig) vs outlined (transformed)", res.Records, xf, 1)
+}
+
+// Sweeps runs all layout sweeps.
+func Sweeps() ([]*SweepResult, error) {
+	var out []*SweepResult
+	for _, f := range []func() (*SweepResult, error){SweepT1, SweepT2, SweepT2Hot, SweepT3} {
+		s, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	b := m.ReadBytes(0x601040, 16)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, v)
+		}
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reading should not materialise pages: %d", m.Pages())
+	}
+}
+
+func TestMemoryReadWriteBytes(t *testing.T) {
+	m := NewMemory()
+	m.WriteBytes(0x100, []byte{1, 2, 3, 4})
+	got := m.ReadBytes(0x100, 4)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Errorf("byte %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 2) // straddles the first page boundary
+	m.WriteUint(addr, 8, 0x1122334455667788)
+	if got := m.ReadUint(addr, 8); got != 0x1122334455667788 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestMemoryIntSignExtension(t *testing.T) {
+	m := NewMemory()
+	m.WriteInt(0x200, 4, -7)
+	if got := m.ReadInt(0x200, 4); got != -7 {
+		t.Errorf("ReadInt = %d", got)
+	}
+	if got := m.ReadUint(0x200, 4); got != 0xfffffff9 {
+		t.Errorf("ReadUint = %#x", got)
+	}
+	m.WriteInt(0x210, 1, -1)
+	if got := m.ReadInt(0x210, 1); got != -1 {
+		t.Errorf("1-byte ReadInt = %d", got)
+	}
+}
+
+func TestMemoryFloats(t *testing.T) {
+	m := NewMemory()
+	m.WriteFloat(0x300, 8, 3.5)
+	if got := m.ReadFloat(0x300, 8); got != 3.5 {
+		t.Errorf("double = %v", got)
+	}
+	m.WriteFloat(0x310, 4, 1.25)
+	if got := m.ReadFloat(0x310, 4); got != 1.25 {
+		t.Errorf("float = %v", got)
+	}
+}
+
+func TestMemoryBadSizesPanic(t *testing.T) {
+	m := NewMemory()
+	for _, f := range []func(){
+		func() { m.ReadUint(0, 3) },
+		func() { m.WriteUint(0, 5, 0) },
+		func() { m.ReadFloat(0, 2) },
+		func() { m.WriteFloat(0, 16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for bad size")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: WriteUint/ReadUint round-trips for all supported sizes at
+// arbitrary (possibly page-straddling) addresses.
+func TestMemoryUintRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	sizes := []int{1, 2, 4, 8}
+	f := func(addr uint32, pick uint8, v uint64) bool {
+		size := sizes[int(pick)%len(sizes)]
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = (1 << (8 * size)) - 1
+		}
+		m.WriteUint(uint64(addr), size, v)
+		return m.ReadUint(uint64(addr), size) == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBumpAllocator(t *testing.T) {
+	b := NewBumpAllocator("data", DataBase, DataBase+64)
+	a1, err := b.Alloc(4, 4)
+	if err != nil || a1 != DataBase {
+		t.Fatalf("a1 = %#x err=%v", a1, err)
+	}
+	a2, err := b.Alloc(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2%8 != 0 || a2 < a1+4 {
+		t.Errorf("a2 = %#x not aligned after a1", a2)
+	}
+	if _, err := b.Alloc(1000, 1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if b.Used() == 0 || b.Next() <= DataBase {
+		t.Errorf("Used=%d Next=%#x", b.Used(), b.Next())
+	}
+	if _, err := b.Alloc(-1, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := b.Alloc(1, 0); err == nil {
+		t.Error("zero align accepted")
+	}
+}
+
+func TestStackFrames(t *testing.T) {
+	s := NewStack()
+	if s.Top() != nil || s.Depth() != 0 {
+		t.Fatal("fresh stack not empty")
+	}
+	mainF := s.Push("main")
+	if mainF.Base != StackTop || mainF.Depth != 0 {
+		t.Errorf("main frame = %+v", mainF)
+	}
+	a, err := mainF.Alloc(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= StackTop || a%4 != 0 {
+		t.Errorf("local at %#x", a)
+	}
+	fooF := s.Push("foo")
+	if fooF.Base != mainF.SP() || fooF.Depth != 1 {
+		t.Errorf("foo frame base = %#x, want %#x", fooF.Base, mainF.SP())
+	}
+	b, err := fooF.Alloc(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Errorf("foo local %#x not below main local %#x", b, a)
+	}
+	if f, ok := s.FrameAt(0); !ok || f != mainF {
+		t.Error("FrameAt(0) lookup failed")
+	}
+	if _, ok := s.FrameAt(5); ok {
+		t.Error("FrameAt(5) should fail")
+	}
+	s.Pop()
+	if s.Top() != mainF {
+		t.Error("pop did not restore main")
+	}
+	s.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Error("pop of empty stack did not panic")
+		}
+	}()
+	s.Pop()
+}
+
+func TestFrameAllocAlignment(t *testing.T) {
+	s := NewStack()
+	f := s.Push("main")
+	if _, err := f.Alloc(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.Alloc(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%8 != 0 {
+		t.Errorf("misaligned double at %#x", a)
+	}
+	if _, err := f.Alloc(-2, 1); err == nil {
+		t.Error("negative frame alloc accepted")
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	s := NewStack()
+	f := s.Push("main")
+	if _, err := f.Alloc(int64(StackTop-StackLow)+16, 1); err == nil {
+		t.Error("stack overflow not detected")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	cases := map[uint64]string{
+		DataBase:      "data",
+		HeapBase + 8:  "heap",
+		StackTop - 16: "stack",
+		0x10:          "unmapped",
+		StackTop + 1:  "unmapped",
+	}
+	for addr, want := range cases {
+		if got := RegionOf(addr); got != want {
+			t.Errorf("RegionOf(%#x) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestNewAddressSpace(t *testing.T) {
+	as := NewAddressSpace()
+	addr, err := as.Data.Alloc(4, 4)
+	if err != nil || addr != DataBase {
+		t.Errorf("first global at %#x err=%v, want %#x", addr, err, DataBase)
+	}
+	h, err := as.Heap.Alloc(32, 16)
+	if err != nil || h != HeapBase {
+		t.Errorf("first heap block at %#x err=%v", h, err)
+	}
+	as.Mem.WriteUint(addr, 4, 321)
+	if as.Mem.ReadUint(addr, 4) != 321 {
+		t.Error("memory write through space failed")
+	}
+}

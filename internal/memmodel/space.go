@@ -1,0 +1,177 @@
+package memmodel
+
+import (
+	"fmt"
+
+	"tracedst/internal/ctype"
+)
+
+// Region bases mirror a typical small static binary on x86-64 Linux, so that
+// generated traces resemble the paper's listings: globals live near
+// 0x601040, the heap above them, and the stack below 0x7ff000500 growing
+// down.
+const (
+	DataBase  uint64 = 0x000601040
+	DataLimit uint64 = 0x000a00000
+	HeapBase  uint64 = 0x001000000
+	HeapLimit uint64 = 0x010000000
+	StackTop  uint64 = 0x7ff000500
+	StackLow  uint64 = 0x7fe000000
+)
+
+// BumpAllocator hands out addresses from a contiguous upward-growing region.
+type BumpAllocator struct {
+	name        string
+	base, limit uint64
+	next        uint64
+}
+
+// NewBumpAllocator returns an allocator over [base, limit).
+func NewBumpAllocator(name string, base, limit uint64) *BumpAllocator {
+	return &BumpAllocator{name: name, base: base, limit: limit, next: base}
+}
+
+// Alloc reserves size bytes aligned to align and returns the base address.
+func (b *BumpAllocator) Alloc(size, align int64) (uint64, error) {
+	if size < 0 || align < 1 {
+		return 0, fmt.Errorf("memmodel: bad alloc size %d align %d", size, align)
+	}
+	addr := uint64(ctype.AlignUp(int64(b.next-b.base), align)) + b.base
+	if addr+uint64(size) > b.limit {
+		return 0, fmt.Errorf("memmodel: %s region exhausted (need %d bytes at %#x, limit %#x)",
+			b.name, size, addr, b.limit)
+	}
+	b.next = addr + uint64(size)
+	return addr, nil
+}
+
+// Used returns the number of bytes handed out (including alignment waste).
+func (b *BumpAllocator) Used() uint64 { return b.next - b.base }
+
+// Next returns the next unallocated address (for shadow-region placement).
+func (b *BumpAllocator) Next() uint64 { return b.next }
+
+// Frame is one stack frame. Locals are carved downward from the frame base,
+// matching a descending stack, but within the frame each Alloc returns the
+// lowest-addressed byte of the local.
+type Frame struct {
+	// Func is the function this frame belongs to.
+	Func string
+	// Base is the highest address of the frame (exclusive).
+	Base uint64
+	// sp is the current downward allocation point.
+	sp uint64
+	// Depth is the 0-based call depth of the frame (main = 0).
+	Depth int
+}
+
+// Alloc reserves size bytes with the given alignment inside the frame and
+// returns the address of the first byte.
+func (f *Frame) Alloc(size, align int64) (uint64, error) {
+	if size < 0 || align < 1 {
+		return 0, fmt.Errorf("memmodel: bad frame alloc size %d align %d", size, align)
+	}
+	want := f.sp - uint64(size)
+	// Align downward.
+	want -= want % uint64(align)
+	if want < StackLow || want > f.sp {
+		return 0, fmt.Errorf("memmodel: stack overflow allocating %d bytes in %s", size, f.Func)
+	}
+	f.sp = want
+	return want, nil
+}
+
+// SP returns the current stack pointer of the frame.
+func (f *Frame) SP() uint64 { return f.sp }
+
+// Mark returns the current allocation point, for later Release — the
+// entry/exit stack discipline of C block scopes.
+func (f *Frame) Mark() uint64 { return f.sp }
+
+// Release rewinds the frame to a previous Mark, freeing every local
+// allocated since. It panics if mark is not a valid earlier state.
+func (f *Frame) Release(mark uint64) {
+	if mark < f.sp || mark > f.Base {
+		panic("memmodel: Release with invalid mark")
+	}
+	f.sp = mark
+}
+
+// Stack models the call stack: a pile of frames growing down from StackTop.
+type Stack struct {
+	frames []*Frame
+}
+
+// NewStack returns an empty stack.
+func NewStack() *Stack { return &Stack{} }
+
+// Push creates a new frame for fn below the current one.
+func (s *Stack) Push(fn string) *Frame {
+	base := StackTop
+	if n := len(s.frames); n > 0 {
+		base = s.frames[n-1].sp
+	}
+	f := &Frame{Func: fn, Base: base, sp: base, Depth: len(s.frames)}
+	s.frames = append(s.frames, f)
+	return f
+}
+
+// Pop removes the top frame. It panics if the stack is empty (a caller bug).
+func (s *Stack) Pop() {
+	if len(s.frames) == 0 {
+		panic("memmodel: pop of empty stack")
+	}
+	s.frames = s.frames[:len(s.frames)-1]
+}
+
+// Top returns the executing frame, or nil when the stack is empty.
+func (s *Stack) Top() *Frame {
+	if len(s.frames) == 0 {
+		return nil
+	}
+	return s.frames[len(s.frames)-1]
+}
+
+// Depth returns the number of live frames.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// FrameAt returns the live frame with the given 0-based depth.
+func (s *Stack) FrameAt(depth int) (*Frame, bool) {
+	if depth < 0 || depth >= len(s.frames) {
+		return nil, false
+	}
+	return s.frames[depth], true
+}
+
+// AddressSpace bundles the memory image with the region allocators.
+type AddressSpace struct {
+	Mem   *Memory
+	Data  *BumpAllocator
+	Heap  *BumpAllocator
+	Stack *Stack
+}
+
+// NewAddressSpace returns a fresh address space with empty regions.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		Mem:   NewMemory(),
+		Data:  NewBumpAllocator("data", DataBase, DataLimit),
+		Heap:  NewBumpAllocator("heap", HeapBase, HeapLimit),
+		Stack: NewStack(),
+	}
+}
+
+// RegionOf classifies an address by region name ("data", "heap", "stack" or
+// "unmapped").
+func RegionOf(addr uint64) string {
+	switch {
+	case addr >= DataBase && addr < DataLimit:
+		return "data"
+	case addr >= HeapBase && addr < HeapLimit:
+		return "heap"
+	case addr >= StackLow && addr < StackTop:
+		return "stack"
+	default:
+		return "unmapped"
+	}
+}

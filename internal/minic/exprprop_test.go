@@ -1,0 +1,191 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genExpr builds a random integer expression as C source together with its
+// ground-truth value computed in Go with C semantics (truncating division).
+// Division/modulo operands are guarded against zero and the value range is
+// kept small to avoid overflow disagreements.
+func genExpr(r *rand.Rand, depth int) (string, int64) {
+	if depth == 0 || r.Intn(3) == 0 {
+		v := int64(r.Intn(41) - 20)
+		if v < 0 {
+			return fmt.Sprintf("(%d)", v), v
+		}
+		return fmt.Sprintf("%d", v), v
+	}
+	ls, lv := genExpr(r, depth-1)
+	rs, rv := genExpr(r, depth-1)
+	switch r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+		}
+		return fmt.Sprintf("(%s / %s)", ls, rs), lv / rv
+	case 4:
+		if rv == 0 {
+			return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+		}
+		return fmt.Sprintf("(%s %% %s)", ls, rs), lv % rv
+	default:
+		// Relational, producing 0/1.
+		ops := []string{"<", ">", "<=", ">=", "==", "!="}
+		op := ops[r.Intn(len(ops))]
+		var b bool
+		switch op {
+		case "<":
+			b = lv < rv
+		case ">":
+			b = lv > rv
+		case "<=":
+			b = lv <= rv
+		case ">=":
+			b = lv >= rv
+		case "==":
+			b = lv == rv
+		case "!=":
+			b = lv != rv
+		}
+		v := int64(0)
+		if b {
+			v = 1
+		}
+		return fmt.Sprintf("(%s %s %s)", ls, op, rs), v
+	}
+}
+
+// TestExpressionEvaluationDifferential compares the interpreter against Go
+// on randomly generated constant expressions, both via direct return and
+// via a round trip through typed memory.
+func TestExpressionEvaluationDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	for i := 0; i < 200; i++ {
+		src, want := genExpr(r, 4)
+		// Return values are C ints; keep the ground truth in range.
+		want32 := int64(int32(want))
+		prog := fmt.Sprintf(`int main(void) { long v; v = %s; return (int) v; }`, src)
+		p, err := Parse(prog, nil)
+		if err != nil {
+			t.Fatalf("expr %s: %v", src, err)
+		}
+		got, err := NewInterp(p, nil).Run()
+		if err != nil {
+			t.Fatalf("expr %s: %v", src, err)
+		}
+		if got != want32 {
+			t.Fatalf("expr %s = %d, want %d", src, got, want32)
+		}
+	}
+}
+
+// TestLoopDifferential compares loop-accumulated sums against Go.
+func TestLoopDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(999))
+	for i := 0; i < 30; i++ {
+		n := r.Intn(20) + 1
+		step := r.Intn(3) + 1
+		src := fmt.Sprintf(`int main(void) {
+	int s;
+	s = 0;
+	for (int i = 0; i < %d; i += %d) s += i*i;
+	return s;
+}`, n, step)
+		var want int64
+		for j := 0; j < n; j += step {
+			want += int64(j * j)
+		}
+		p, err := Parse(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewInterp(p, nil).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("n=%d step=%d: got %d want %d", n, step, got, want)
+		}
+	}
+}
+
+// TestArrayShuffleDifferential writes a pseudo-random permutation through
+// the interpreter's memory and reads it back.
+func TestArrayShuffleDifferential(t *testing.T) {
+	const n = 64
+	src := fmt.Sprintf(`int main(void) {
+	int a[%d];
+	int sum;
+	for (int i = 0; i < %d; i++) a[i] = (i*37+11) %% %d;
+	sum = 0;
+	for (int i = 0; i < %d; i++) sum += a[i] * i;
+	return sum %% 65536;
+}`, n, n, n, n)
+	var want int64
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = int64((i*37 + 11) % n)
+	}
+	for i := 0; i < n; i++ {
+		want += vals[i] * int64(i)
+	}
+	want %= 65536
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewInterp(p, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+// TestRecursionDifferential checks the call stack with recursive factorial
+// and Fibonacci.
+func TestRecursionDifferential(t *testing.T) {
+	src := `
+int fact(int n) { if (n <= 1) return 1; return n * fact(n-1); }
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { return fact(6) + fib(10); }`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewInterp(p, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 720+55 {
+		t.Fatalf("got %d, want 775", got)
+	}
+}
+
+// TestDeepRecursionOverflows verifies stack exhaustion is an error, not a
+// crash.
+func TestDeepRecursionOverflows(t *testing.T) {
+	src := `
+int burn(int n) { int pad[512]; pad[0] = n; return burn(n+1) + pad[0]; }
+int main(void) { return burn(0); }`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterp(p, nil).Run(); err == nil {
+		t.Fatal("unbounded recursion did not fail")
+	} else if !strings.Contains(err.Error(), "stack overflow") && !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package minic
+
+import "testing"
+
+func kinds(toks []Tok) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int x = 42;", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"int", "x", "=", "42", ";", "EOF"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want {
+		if toks[i].String() != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i], w)
+		}
+	}
+	if toks[3].Int != 42 {
+		t.Errorf("literal value = %d", toks[3].Int)
+	}
+}
+
+func TestLexMultiCharPunct(t *testing.T) {
+	toks, err := Lex("a->b ++ -- <= >= == != && || += <<", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "->", "b", "++", "--", "<=", ">=", "==", "!=", "&&", "||", "+=", "<<"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a // comment\nb /* multi\nline */ c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[2].Line != 3 {
+		t.Errorf("c on line %d, want 3", toks[2].Line)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("0x1F 3.5 10UL 2.0f 7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Int != 31 {
+		t.Errorf("hex = %+v", toks[0])
+	}
+	if toks[1].Kind != TokFloat || toks[1].Fl != 3.5 {
+		t.Errorf("float = %+v", toks[1])
+	}
+	if toks[2].Kind != TokInt || toks[2].Int != 10 {
+		t.Errorf("suffixed = %+v", toks[2])
+	}
+	if toks[3].Kind != TokFloat || toks[3].Fl != 2.0 {
+		t.Errorf("f-suffix = %+v", toks[3])
+	}
+}
+
+func TestLexCharAndString(t *testing.T) {
+	toks, err := Lex(`'a' '\n' "hello"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokChar || toks[0].Int != 'a' {
+		t.Errorf("char = %+v", toks[0])
+	}
+	if toks[1].Int != '\n' {
+		t.Errorf("escape = %+v", toks[1])
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "hello" {
+		t.Errorf("string = %+v", toks[2])
+	}
+}
+
+func TestLexDefineMacro(t *testing.T) {
+	src := "#define LEN 16\n#define DOUBLELEN LEN*2\nint a[LEN]; int b[DOUBLELEN];"
+	toks, err := Lex(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a [ 16 ] — the macro must expand to the integer token.
+	found16 := false
+	for _, tk := range toks {
+		if tk.Kind == TokInt && tk.Int == 16 {
+			found16 = true
+		}
+	}
+	if !found16 {
+		t.Errorf("LEN did not expand: %v", toks)
+	}
+}
+
+func TestLexExternalDefines(t *testing.T) {
+	toks, err := Lex("int a[LEN];", map[string]string{"LEN": "1024"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != TokInt || toks[3].Int != 1024 {
+		t.Errorf("define expansion = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{
+		"int a @ b;",
+		"'unterminated",
+		`"unterminated`,
+		"/* unterminated",
+		"#define F(x) x",
+		"#error nope",
+		"\"multi\nline\"",
+	} {
+		if _, err := Lex(bad, nil); err == nil {
+			t.Errorf("Lex(%q) unexpectedly succeeded", bad)
+		}
+	}
+	if _, err := Lex("x", map[string]string{"BAD": "'"}); err == nil {
+		t.Error("bad define body accepted")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := Lex("a\nb\n\nc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 4 {
+		t.Errorf("lines = %d %d %d", toks[0].Line, toks[1].Line, toks[2].Line)
+	}
+	_ = kinds(toks)
+}

@@ -1,0 +1,241 @@
+package minic
+
+import (
+	"testing"
+
+	"tracedst/internal/ctype"
+)
+
+func mustParse(t *testing.T, src string, defines map[string]string) *Program {
+	t.Helper()
+	p, err := Parse(src, defines)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseListing1(t *testing.T) {
+	// The paper's Listing 1, verbatim modulo OCR fixes.
+	src := `
+struct _typeA {
+	double d1;
+	int myArray[10];
+};
+struct _typeA glStruct;
+struct _typeA glStructArray[10];
+
+int glScalar;
+int glArray[10];
+
+void foo(struct _typeA StrcParam[])
+{
+	int i;
+	for (i=0; i<2; i++){
+		glStructArray[i].d1 = glScalar;
+		glStructArray[i].myArray[i] = glArray[i+1];
+		StrcParam[i].d1 = glArray[i];
+	}
+	return;
+}
+
+int main(void)
+{
+	GLEIPNIR_START_INSTRUMENTATION;
+	struct _typeA lcStrcArray[5];
+	int i, lcScalar, lcArray[10];
+
+	glScalar = 321;
+	lcScalar = 123;
+
+	for (i=0; i<2; i++)
+		lcArray[i] = glScalar;
+
+	foo(lcStrcArray);
+
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+	p := mustParse(t, src, nil)
+	if len(p.Globals) != 4 {
+		t.Errorf("globals = %d, want 4", len(p.Globals))
+	}
+	if p.Globals[1].Name != "glStructArray" || p.Globals[1].Type.Size() != 480 {
+		t.Errorf("glStructArray = %+v", p.Globals[1])
+	}
+	foo := p.Funcs["foo"]
+	if foo == nil {
+		t.Fatal("foo missing")
+	}
+	if len(foo.Params) != 1 {
+		t.Fatalf("foo params = %+v", foo.Params)
+	}
+	// Array parameter decays to pointer.
+	if _, ok := foo.Params[0].Type.(*ctype.Pointer); !ok {
+		t.Errorf("StrcParam type = %v, want pointer", foo.Params[0].Type)
+	}
+	if foo.Ret != nil {
+		t.Errorf("foo return = %v, want void", foo.Ret)
+	}
+	if p.Funcs["main"].Ret != ctype.Int {
+		t.Error("main does not return int")
+	}
+}
+
+func TestParseTypedefStruct(t *testing.T) {
+	src := `
+int main(int aArgc, char **aArgv) {
+	typedef struct { int mX; double mY; } MyStruct;
+	MyStruct lAoS[16];
+	for (int lI=0 ; lI<16 ; lI++) {
+		lAoS[lI].mX = (int) lI;
+		lAoS[lI].mY = (double) lI;
+	}
+	return 0;
+}
+`
+	p := mustParse(t, src, nil)
+	main := p.Funcs["main"]
+	if len(main.Params) != 2 {
+		t.Fatalf("main params = %+v", main.Params)
+	}
+	// char **aArgv
+	pp, ok := main.Params[1].Type.(*ctype.Pointer)
+	if !ok {
+		t.Fatalf("aArgv = %v", main.Params[1].Type)
+	}
+	if _, ok := pp.Elem.(*ctype.Pointer); !ok {
+		t.Errorf("aArgv = %v, want char**", main.Params[1].Type)
+	}
+}
+
+func TestParseTypedefNamesAnonymousStruct(t *testing.T) {
+	src := `typedef struct { double mY; int mZ; } RarelyUsed;
+RarelyUsed pool[4];
+int main(void) { return 0; }`
+	p := mustParse(t, src, nil)
+	arr := p.Globals[0].Type.(*ctype.Array)
+	st := arr.Elem.(*ctype.Struct)
+	if st.Name != "RarelyUsed" {
+		t.Errorf("typedef struct name = %q", st.Name)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	src := `int main(void) {
+	int i, s;
+	for (;;) { break; }
+	for (i=0;;i++) { if (i>3) break; }
+	for (i=0; i<4;) { i++; }
+	s = 0;
+	for (int j=0; j<3; j++) s += j;
+	return s;
+}`
+	mustParse(t, src, nil)
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `int main(void) {
+	int i, n;
+	n = 0;
+	i = 0;
+	while (i < 10) { if (i == 5) { i++; continue; } n += i; i++; }
+	do { n--; } while (n > 20);
+	return n > 0 ? n : -n;
+}`
+	mustParse(t, src, nil)
+}
+
+func TestParsePointerOps(t *testing.T) {
+	src := `
+typedef struct { double mY; int mZ; } RarelyUsed;
+typedef struct {
+	int mFrequentlyUsed;
+	RarelyUsed *mRarelyUsed;
+} MyOutlinedStruct;
+int main(void) {
+	RarelyUsed lStorageForRarelyUsed[16];
+	MyOutlinedStruct lS2[16];
+	for (int lI=0 ; lI<16 ; lI++) {
+		lS2[lI].mRarelyUsed = lStorageForRarelyUsed+lI;
+	}
+	for (int lI=0 ; lI<16 ; lI++) {
+		lS2[lI].mFrequentlyUsed = lI;
+		lS2[lI].mRarelyUsed->mY = lI;
+		lS2[lI].mRarelyUsed->mZ = lI;
+	}
+	return 0;
+}`
+	mustParse(t, src, nil)
+}
+
+func TestParseSizeofAndDefines(t *testing.T) {
+	src := `
+#define SETS 16
+#define CACHELINE 32
+int main(void) {
+	const int ITEMSPERLINE = CACHELINE/sizeof(int);
+	int lSetHashingArray[1024*SETS];
+	for (int lI=0 ; lI<1024 ; lI++) {
+		lSetHashingArray[(lI/ITEMSPERLINE)%(SETS*ITEMSPERLINE)+(lI%ITEMSPERLINE)] = lI;
+	}
+	return 0;
+}`
+	p := mustParse(t, src, nil)
+	_ = p
+}
+
+func TestParseConstDimensionFolding(t *testing.T) {
+	p := mustParse(t, `int a[4*8]; int main(void){ return sizeof(a); }`, nil)
+	if p.Globals[0].Type.Size() != 128 {
+		t.Errorf("a size = %d", p.Globals[0].Type.Size())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,       // no main
+		`int x;`, // no main
+		`int main(void) { return 0; } int main(void) { return 1; }`, // dup
+		`bogus main(void) { return 0; }`,                            // unknown type
+		`int main(void) { int a[n]; return 0; }`,                    // non-constant dim
+		`int main(void) { struct X y; return 0; }`,                  // undefined struct
+		`int main(void) { return 0 }`,                               // missing ;
+		`int main(void) { for (;; }`,                                // bad for
+		`int main(void) { int x = ; }`,                              // bad init
+		`struct S { void v; }; int main(void){return 0;}`,           // void field
+		`int main(void) { x.; return 0; }`,                          // bad member
+	} {
+		if _, err := Parse(bad, nil); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// (lI/8)%(16*8)+(lI%8) must parse with C precedence; verify via constant
+	// folding on a literal instance.
+	e, err := Parse(`int a[(40/8)%(16*8)+(40%8)]; int main(void){return 0;}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (40/8)%128 + 0 = 5
+	if e.Globals[0].Type.(*ctype.Array).Len != 5 {
+		t.Errorf("folded dim = %d, want 5", e.Globals[0].Type.(*ctype.Array).Len)
+	}
+}
+
+func TestParseGleipnirMarkers(t *testing.T) {
+	p := mustParse(t, `int main(void) {
+	GLEIPNIR_START_INSTRUMENTATION;
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}`, nil)
+	body := p.Funcs["main"].Body.Stmts
+	g1, ok1 := body[0].(*Gleipnir)
+	g2, ok2 := body[1].(*Gleipnir)
+	if !ok1 || !ok2 || !g1.On || g2.On {
+		t.Errorf("markers = %+v %+v", body[0], body[1])
+	}
+}

@@ -1,0 +1,195 @@
+package minic
+
+import "testing"
+
+// TestBlockScopeSlotReuse: a block-scoped local declared inside a loop must
+// reuse the same stack slot every iteration, as compiled code does — the
+// frame must not grow with the iteration count.
+func TestBlockScopeSlotReuse(t *testing.T) {
+	src := `int main(void) {
+	int total;
+	total = 0;
+	for (int i = 0; i < 50; i++) {
+		int k;
+		k = i * 2;
+		total += k;
+	}
+	return total;
+}`
+	_, rec, v := run(t, src, nil)
+	if v != 2450 {
+		t.Fatalf("total = %d, want 2450", v)
+	}
+	// Collect the distinct addresses written for k (4-byte stores that are
+	// not total/i). All k stores must hit one address.
+	addrs := map[uint64]bool{}
+	for _, e := range rec.events {
+		if e.op == OpStore && e.size == 4 {
+			addrs[e.addr] = true
+		}
+	}
+	// total, i, k: exactly 3 distinct 4-byte store addresses.
+	if len(addrs) != 3 {
+		t.Errorf("distinct store addresses = %d, want 3 (slot reuse broken)", len(addrs))
+	}
+}
+
+// TestNestedLoopSlotsBounded: the matmul-style triple nest must keep its
+// frame bounded regardless of trip counts.
+func TestNestedLoopSlotsBounded(t *testing.T) {
+	src := `int main(void) {
+	int sink;
+	sink = 0;
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 10; j++) {
+			int s;
+			s = i + j;
+			for (int k = 0; k < 10; k++) {
+				s += k;
+			}
+			sink += s;
+		}
+	}
+	return sink;
+}`
+	p := mustParse(t, src, nil)
+	rec := &recorder{}
+	in := NewInterp(p, rec)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Frame span: highest minus lowest touched stack address must be tiny
+	// (a handful of ints), not proportional to 10*10 allocations.
+	var lo, hi uint64 = ^uint64(0), 0
+	for _, e := range rec.events {
+		if e.addr < lo {
+			lo = e.addr
+		}
+		if e.addr > hi {
+			hi = e.addr
+		}
+	}
+	if span := hi - lo; span > 128 {
+		t.Errorf("frame span = %d bytes, want small (slot reuse broken)", span)
+	}
+}
+
+// TestSymtabDescribesInnermostAfterReuse: after a block exits and its slot
+// is reused, the symbol table must describe the new variable.
+func TestSymtabDescribesInnermostAfterReuse(t *testing.T) {
+	src := `int main(void) {
+	{
+		int first;
+		first = 1;
+	}
+	{
+		int second;
+		second = 2;
+	}
+	return 0;
+}`
+	p := mustParse(t, src, nil)
+	rec := &recorder{}
+	in := NewInterp(p, rec)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 2 {
+		t.Fatalf("events = %+v", rec.events)
+	}
+	if rec.events[0].addr != rec.events[1].addr {
+		t.Errorf("blocks did not share the slot: %#x vs %#x",
+			rec.events[0].addr, rec.events[1].addr)
+	}
+}
+
+// TestScopeReleaseDoesNotBreakZzq: the hidden _zzq_result slot lives in the
+// function body's scope and must stay valid across later blocks.
+func TestScopeReleaseDoesNotBreakZzq(t *testing.T) {
+	src := `int main(void) {
+	GLEIPNIR_START_INSTRUMENTATION;
+	int x;
+	x = 0;
+	{
+		int y;
+		y = 1;
+		x += y;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return x;
+}`
+	_, _, v := run(t, src, nil)
+	if v != 1 {
+		t.Errorf("got %d", v)
+	}
+}
+
+// TestCommaOperator checks C comma semantics in expressions and for loops.
+func TestCommaOperator(t *testing.T) {
+	src := `int main(void) {
+	int a[8];
+	int i, j, n;
+	for (i = 0; i < 8; i++) a[i] = i;
+	n = 0;
+	for (i = 0, j = 7; i < j; i++, j--) {
+		n += a[i] * a[j];
+	}
+	return n;
+}`
+	_, _, v := run(t, src, nil)
+	// 0*7 + 1*6 + 2*5 + 3*4 = 28
+	if v != 28 {
+		t.Errorf("got %d, want 28", v)
+	}
+}
+
+// TestCommaValueIsLast: the comma expression's value is its last operand.
+func TestCommaValueIsLast(t *testing.T) {
+	src := `int main(void) {
+	int x, y;
+	y = (x = 3, x + 4);
+	return y;
+}`
+	_, _, v := run(t, src, nil)
+	if v != 7 {
+		t.Errorf("got %d, want 7", v)
+	}
+}
+
+// TestArrayInitializerList covers global (silent) and local (element-wise
+// store) brace initialisation.
+func TestArrayInitializerList(t *testing.T) {
+	src := `
+int table[6] = {2, 3, 5, 7, 11};
+int main(void) {
+	int local[4] = {10, 20};
+	return table[3] + table[5] + local[1] + local[3];
+}`
+	_, rec, v := run(t, src, nil)
+	// 7 + 0 + 20 + 0 = 27
+	if v != 27 {
+		t.Errorf("got %d, want 27", v)
+	}
+	// Global init is static (no events); local init stores per provided
+	// element (2 stores), then 4 loads for the return expression.
+	if got := rec.ops(); got != "SSLLLL" {
+		t.Errorf("ops = %s, want SSLLLL", got)
+	}
+}
+
+func TestInitializerListErrors(t *testing.T) {
+	for _, bad := range []string{
+		`int main(void) { int x = {1}; return 0; }`,          // non-array
+		`int main(void) { int a[2] = {1, 2, 3}; return 0; }`, // too many
+		`int main(void) { int a[2] = {1, ; return 0; }`,      // malformed
+	} {
+		if _, err := Parse(bad, nil); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// Non-constant global list fails at run time.
+	prog := mustParse(t, `int g[2] = {1, 2}; int main(void) { return g[0]; }`, nil)
+	if _, err := NewInterp(prog, nil).Run(); err != nil {
+		t.Errorf("constant global list failed: %v", err)
+	}
+}

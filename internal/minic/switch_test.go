@@ -1,0 +1,224 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSwitchBasic(t *testing.T) {
+	src := `int classify(int x) {
+	switch (x) {
+	case 0:
+		return 10;
+	case 1:
+	case 2:
+		return 20;
+	default:
+		return 30;
+	}
+}
+int main(void) {
+	return classify(0)*100 + classify(2)*10 + classify(9)/10;
+}`
+	_, _, v := run(t, src, nil)
+	// 10*100 + 20*10 + 3 = 1203
+	if v != 1203 {
+		t.Errorf("got %d, want 1203", v)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `int main(void) {
+	int n, x;
+	n = 0;
+	x = 1;
+	switch (x) {
+	case 1:
+		n = n + 1;
+	case 2:
+		n = n + 10;
+		break;
+	case 3:
+		n = n + 100;
+	}
+	return n;
+}`
+	_, _, v := run(t, src, nil)
+	if v != 11 {
+		t.Errorf("got %d, want 11 (fallthrough from case 1 into 2)", v)
+	}
+}
+
+func TestSwitchNoMatchNoDefault(t *testing.T) {
+	src := `int main(void) {
+	int n;
+	n = 5;
+	switch (n) {
+	case 1:
+		n = 0;
+		break;
+	}
+	return n;
+}`
+	_, _, v := run(t, src, nil)
+	if v != 5 {
+		t.Errorf("got %d, want 5", v)
+	}
+}
+
+func TestSwitchBreakInsideLoop(t *testing.T) {
+	src := `int main(void) {
+	int n;
+	n = 0;
+	for (int i = 0; i < 5; i++) {
+		switch (i) {
+		case 3:
+			n = n + 100;
+			break;
+		default:
+			n = n + 1;
+			break;
+		}
+	}
+	return n;
+}`
+	_, _, v := run(t, src, nil)
+	// 4 iterations add 1, one adds 100: switch break must not exit the for.
+	if v != 104 {
+		t.Errorf("got %d, want 104", v)
+	}
+}
+
+func TestSwitchReturnPropagates(t *testing.T) {
+	src := `int pick(int x) {
+	switch (x) {
+	case 1: return 7;
+	default: return 9;
+	}
+}
+int main(void) { return pick(1); }`
+	_, _, v := run(t, src, nil)
+	if v != 7 {
+		t.Errorf("got %d", v)
+	}
+}
+
+func TestSwitchCondEmitsLoads(t *testing.T) {
+	src := `int main(void) {
+	int x;
+	x = 2;
+	switch (x) {
+	case 2:
+		break;
+	}
+	return 0;
+}`
+	_, rec, _ := run(t, src, nil)
+	// S(x=2), L(x) for the switch condition; case labels are constants and
+	// emit nothing.
+	if rec.ops() != "SL" {
+		t.Errorf("ops = %s, want SL", rec.ops())
+	}
+}
+
+func TestSwitchConstExprLabels(t *testing.T) {
+	src := `int main(void) {
+	switch (8) {
+	case 4*2:
+		return 1;
+	}
+	return 0;
+}`
+	_, _, v := run(t, src, nil)
+	if v != 1 {
+		t.Errorf("got %d", v)
+	}
+}
+
+func TestSwitchParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		`int main(void) { switch (1) { x = 1; } return 0; }`,                       // stmt before case
+		`int main(void) { int y; y = 2; switch (1) { case y: break; } return 0; }`, // non-const label
+		`int main(void) { switch (1) { default: break; default: break; } return 0; }`,
+		`int main(void) { switch (1) { case 1 break; } return 0; }`, // missing colon
+		`int main(void) { switch (1) { case 1: break; `,             // unterminated
+	} {
+		if _, err := Parse(bad, nil); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSwitchContinueInsideLoop(t *testing.T) {
+	src := `int main(void) {
+	int n;
+	n = 0;
+	for (int i = 0; i < 4; i++) {
+		switch (i) {
+		case 1:
+			continue;
+		}
+		n = n + 1;
+	}
+	return n;
+}`
+	_, _, v := run(t, src, nil)
+	if v != 3 {
+		t.Errorf("got %d, want 3 (continue skips one increment)", v)
+	}
+}
+
+func TestSwitchInWorkloadStyle(t *testing.T) {
+	// A dispatch-table-style kernel: switch drives which array is touched.
+	src := `
+int a[8]; int b[8]; int c[8];
+int main(void) {
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int i = 0; i < 8; i++) {
+		switch (i % 3) {
+		case 0: a[i] = i; break;
+		case 1: b[i] = i; break;
+		default: c[i] = i; break;
+		}
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}`
+	_, rec, _ := run(t, src, nil)
+	var sa, sb, sc int
+	for _, e := range rec.events {
+		_ = e
+	}
+	text := strings.Builder{}
+	for _, e := range rec.events {
+		_ = e
+		text.WriteByte(byte(e.op))
+	}
+	// i%3 over 0..7 → a: i=0,3,6 (3 stores), b: i=1,4,7 (3), c: i=2,5 (2).
+	prog := mustParse(t, src, nil)
+	r2 := &recorder{}
+	in := NewInterp(prog, r2)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r2.events {
+		if e.op != OpStore || e.size != 4 {
+			continue
+		}
+		ref, ok := in.Syms.Describe(e.addr, 0)
+		if !ok {
+			continue
+		}
+		switch ref.Sym.Name {
+		case "a":
+			sa++
+		case "b":
+			sb++
+		case "c":
+			sc++
+		}
+	}
+	if sa != 3 || sb != 3 || sc != 2 {
+		t.Errorf("stores a=%d b=%d c=%d, want 3/3/2", sa, sb, sc)
+	}
+}

@@ -1,0 +1,352 @@
+// Package minic implements an interpreter for the C subset used by the
+// paper's example programs (Listings 1, 3, 4, 6, 7, 9 and 10). It stands in
+// for the Valgrind + Gleipnir instrumentation stack: executing a program
+// produces the same stream of annotated data accesses that Gleipnir records
+// from a natively compiled binary — one Load/Store/Modify event per variable
+// access, attributed to the executing function and laid out by the C ABI
+// rules in ctype and the address-space conventions in memmodel.
+//
+// Supported language: typedef/struct declarations, global and local
+// variables (with initializers), arrays, pointers (including -> access and
+// pointer arithmetic), for/while/do/if/else/break/continue/return, the usual
+// arithmetic/relational/logical operators, ++/--, compound assignment,
+// sizeof, casts, #define object macros, malloc/free, and the
+// GLEIPNIR_START_INSTRUMENTATION / GLEIPNIR_STOP_INSTRUMENTATION markers.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies a lexical token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokChar   // character literal, value in Tok.Int
+	TokString // string literal, text in Tok.Text (without quotes)
+	TokPunct
+)
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string // identifier text, punctuation spelling, or string body
+	Int  int64  // integer / char value
+	Fl   float64
+	Line int
+}
+
+// String renders the token for error messages.
+func (t Tok) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("%g", t.Fl)
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Text
+}
+
+// multi-character punctuation, longest first.
+var punct2 = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+}
+
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	defines map[string][]Tok // object-like macros
+	out     []Tok
+	err     error
+}
+
+// Lex tokenises src, applying #define object macros and the user-supplied
+// definitions (each value is lexed as a replacement token list).
+func Lex(src string, defines map[string]string) ([]Tok, error) {
+	lx := &lexer{src: src, line: 1, defines: map[string][]Tok{}}
+	for name, val := range defines {
+		toks, err := lexRaw(val)
+		if err != nil {
+			return nil, fmt.Errorf("minic: bad define %s=%q: %v", name, val, err)
+		}
+		lx.defines[name] = toks
+	}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.out, nil
+}
+
+// lexRaw tokenises without preprocessing (used for macro bodies).
+func lexRaw(src string) ([]Tok, error) {
+	lx := &lexer{src: src, line: 1, defines: map[string][]Tok{}}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.out[:len(lx.out)-1], nil // strip EOF
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) run() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#':
+			if err := lx.directive(); err != nil {
+				return err
+			}
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			if err := lx.blockComment(); err != nil {
+				return err
+			}
+		case isIdentStart(c):
+			lx.ident()
+		case c >= '0' && c <= '9':
+			if err := lx.number(); err != nil {
+				return err
+			}
+		case c == '\'':
+			if err := lx.charLit(); err != nil {
+				return err
+			}
+		case c == '"':
+			if err := lx.stringLit(); err != nil {
+				return err
+			}
+		default:
+			if !lx.punct() {
+				return lx.errorf("unexpected character %q", c)
+			}
+		}
+	}
+	lx.out = append(lx.out, Tok{Kind: TokEOF, Line: lx.line})
+	return nil
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func (lx *lexer) blockComment() error {
+	end := strings.Index(lx.src[lx.pos+2:], "*/")
+	if end < 0 {
+		return lx.errorf("unterminated block comment")
+	}
+	lx.line += strings.Count(lx.src[lx.pos:lx.pos+2+end+2], "\n")
+	lx.pos += 2 + end + 2
+	return nil
+}
+
+// directive handles #define NAME <tokens> and ignores #include / #pragma.
+func (lx *lexer) directive() error {
+	eol := strings.IndexByte(lx.src[lx.pos:], '\n')
+	var lineText string
+	if eol < 0 {
+		lineText = lx.src[lx.pos:]
+		lx.pos = len(lx.src)
+	} else {
+		lineText = lx.src[lx.pos : lx.pos+eol]
+		lx.pos += eol // leave the \n for the main loop to count
+	}
+	fields := strings.Fields(lineText)
+	if len(fields) == 0 {
+		return lx.errorf("empty preprocessor directive")
+	}
+	switch fields[0] {
+	case "#define":
+		if len(fields) < 2 {
+			return lx.errorf("#define without a name")
+		}
+		name := fields[1]
+		if strings.Contains(name, "(") {
+			return lx.errorf("function-like macro %s not supported", name)
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(lineText, "#define"), " "))
+		body = strings.TrimSpace(strings.TrimPrefix(body, name))
+		toks, err := lexRaw(body)
+		if err != nil {
+			return lx.errorf("bad macro body for %s: %v", name, err)
+		}
+		lx.defines[name] = toks
+		return nil
+	case "#include", "#pragma", "#ifdef", "#ifndef", "#endif", "#undef":
+		return nil // tolerated and ignored
+	default:
+		return lx.errorf("unsupported directive %s", fields[0])
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func (lx *lexer) ident() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentCont(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	name := lx.src[start:lx.pos]
+	if body, ok := lx.defines[name]; ok {
+		for _, t := range body {
+			t.Line = lx.line
+			lx.out = append(lx.out, t)
+		}
+		return
+	}
+	lx.out = append(lx.out, Tok{Kind: TokIdent, Text: name, Line: lx.line})
+}
+
+func (lx *lexer) number() error {
+	start := lx.pos
+	isFloat := false
+	if lx.src[lx.pos] == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.pos += 2
+		for lx.pos < len(lx.src) && isHexDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+	} else {
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+			isFloat = true
+			lx.pos++
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+		}
+	}
+	text := lx.src[start:lx.pos]
+	// Skip integer suffixes (U, L, UL, ...).
+	for lx.pos < len(lx.src) && (lx.src[lx.pos] == 'u' || lx.src[lx.pos] == 'U' ||
+		lx.src[lx.pos] == 'l' || lx.src[lx.pos] == 'L' || lx.src[lx.pos] == 'f' || lx.src[lx.pos] == 'F') {
+		if lx.src[lx.pos] == 'f' || lx.src[lx.pos] == 'F' {
+			isFloat = true
+		}
+		lx.pos++
+	}
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return lx.errorf("bad float literal %q", text)
+		}
+		lx.out = append(lx.out, Tok{Kind: TokFloat, Fl: f, Text: text, Line: lx.line})
+		return nil
+	}
+	var v int64
+	var err error
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		_, err = fmt.Sscanf(text, "%v", &v)
+	} else {
+		_, err = fmt.Sscanf(text, "%d", &v)
+	}
+	if err != nil {
+		return lx.errorf("bad integer literal %q", text)
+	}
+	lx.out = append(lx.out, Tok{Kind: TokInt, Int: v, Text: text, Line: lx.line})
+	return nil
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (lx *lexer) charLit() error {
+	lx.pos++ // opening quote
+	if lx.pos >= len(lx.src) {
+		return lx.errorf("unterminated character literal")
+	}
+	var v int64
+	if lx.src[lx.pos] == '\\' {
+		lx.pos++
+		if lx.pos >= len(lx.src) {
+			return lx.errorf("unterminated escape")
+		}
+		switch lx.src[lx.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return lx.errorf("unsupported escape \\%c", lx.src[lx.pos])
+		}
+	} else {
+		v = int64(lx.src[lx.pos])
+	}
+	lx.pos++
+	if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+		return lx.errorf("unterminated character literal")
+	}
+	lx.pos++
+	lx.out = append(lx.out, Tok{Kind: TokChar, Int: v, Line: lx.line})
+	return nil
+}
+
+func (lx *lexer) stringLit() error {
+	lx.pos++
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+		if lx.src[lx.pos] == '\n' {
+			return lx.errorf("newline in string literal")
+		}
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return lx.errorf("unterminated string literal")
+	}
+	lx.out = append(lx.out, Tok{Kind: TokString, Text: lx.src[start:lx.pos], Line: lx.line})
+	lx.pos++
+	return nil
+}
+
+func (lx *lexer) punct() bool {
+	for _, p := range punct2 {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.out = append(lx.out, Tok{Kind: TokPunct, Text: p, Line: lx.line})
+			lx.pos += len(p)
+			return true
+		}
+	}
+	c := lx.src[lx.pos]
+	if strings.IndexByte("+-*/%<>=!&|^~()[]{};,.?:", c) >= 0 {
+		lx.out = append(lx.out, Tok{Kind: TokPunct, Text: string(c), Line: lx.line})
+		lx.pos++
+		return true
+	}
+	return false
+}

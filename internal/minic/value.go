@@ -1,0 +1,99 @@
+package minic
+
+import (
+	"fmt"
+
+	"tracedst/internal/ctype"
+	"tracedst/internal/symtab"
+)
+
+// Value is a miniC runtime value. Integers and pointers live in I, floats in
+// F; T is the static C type.
+type Value struct {
+	T ctype.Type
+	I int64
+	F float64
+	// heapSym tracks the block a freshly returned malloc pointer refers to,
+	// so that assigning it to a typed pointer can retype the block for
+	// debug-info purposes.
+	heapSym *symtab.Symbol
+}
+
+// IntValue returns an int-typed value.
+func IntValue(v int64) Value { return Value{T: ctype.Int, I: v} }
+
+func isFloatType(t ctype.Type) bool {
+	p, ok := t.(*ctype.Primitive)
+	return ok && p.Float
+}
+
+func isIntType(t ctype.Type) bool {
+	p, ok := t.(*ctype.Primitive)
+	return ok && !p.Float
+}
+
+func isPointerType(t ctype.Type) bool {
+	_, ok := t.(*ctype.Pointer)
+	return ok
+}
+
+// Bool reports C truthiness.
+func (v Value) Bool() bool {
+	if isFloatType(v.T) {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// Float returns the value as float64 regardless of representation.
+func (v Value) Float() float64 {
+	if isFloatType(v.T) {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// Int returns the value as int64, truncating floats as C does.
+func (v Value) Int() int64 {
+	if isFloatType(v.T) {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// convert implements C conversion rules between scalar types.
+func convert(v Value, to ctype.Type) (Value, error) {
+	switch {
+	case to == nil:
+		return Value{}, fmt.Errorf("minic: conversion to void")
+	case isFloatType(to):
+		return Value{T: to, F: v.Float()}, nil
+	case isIntType(to):
+		n := v.Int()
+		// Truncate to the destination width with sign/zero extension.
+		p := to.(*ctype.Primitive)
+		if p.Bytes < 8 {
+			shift := uint(64 - p.Bytes*8)
+			if p.Signed {
+				n = n << shift >> shift
+			} else {
+				n = int64(uint64(n) << shift >> shift)
+			}
+		}
+		return Value{T: to, I: n}, nil
+	case isPointerType(to):
+		return Value{T: to, I: v.Int(), heapSym: v.heapSym}, nil
+	default:
+		return Value{}, fmt.Errorf("minic: cannot convert %s to %s", v.T, to)
+	}
+}
+
+// usualArith performs the usual arithmetic conversions for two operands and
+// reports whether the computation is floating point.
+func usualArith(a, b Value) bool { return isFloatType(a.T) || isFloatType(b.T) }
+
+// lvalue is a resolved memory place.
+type lvalue struct {
+	addr uint64
+	t    ctype.Type
+}

@@ -1,0 +1,215 @@
+package pagemap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/dinero"
+	"tracedst/internal/trace"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+)
+
+func TestIdentityPassThrough(t *testing.T) {
+	m := New(Config{Policy: Identity})
+	for _, va := range []uint64{0, 0x601040, 0x7ff0001b0} {
+		pa, err := m.Translate(va)
+		if err != nil || pa != va {
+			t.Errorf("identity(%#x) = %#x, %v", va, pa, err)
+		}
+	}
+}
+
+func TestSequentialFirstTouch(t *testing.T) {
+	m := New(Config{Policy: Sequential})
+	// Touch three different pages out of order: frames follow touch order.
+	pa1, _ := m.Translate(0x7ff000000)
+	pa2, _ := m.Translate(0x601040)
+	pa3, _ := m.Translate(0x7ff000008) // same page as first
+	if pa1>>12 != 0 {
+		t.Errorf("first page frame = %d", pa1>>12)
+	}
+	if pa2>>12 != 1 {
+		t.Errorf("second page frame = %d", pa2>>12)
+	}
+	if pa3>>12 != pa1>>12 {
+		t.Error("same page mapped twice")
+	}
+	if m.MappedPages() != 2 {
+		t.Errorf("mapped pages = %d", m.MappedPages())
+	}
+}
+
+func TestOffsetPreserved(t *testing.T) {
+	for _, pol := range []Policy{Sequential, Shuffled} {
+		m := New(Config{Policy: pol, Seed: 7})
+		f := func(va uint64) bool {
+			pa, err := m.Translate(va)
+			if err != nil {
+				return false
+			}
+			return pa&0xfff == va&0xfff
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+	}
+}
+
+func TestTranslationStable(t *testing.T) {
+	m := New(Config{Policy: Shuffled, Seed: 3})
+	a1, _ := m.Translate(0x601040)
+	a2, _ := m.Translate(0x601044)
+	a3, _ := m.Translate(0x601040)
+	if a1 != a3 {
+		t.Error("translation not stable")
+	}
+	if a2-a1 != 4 {
+		t.Error("intra-page offsets broken")
+	}
+}
+
+func TestShuffledUniqueFrames(t *testing.T) {
+	m := New(Config{Policy: Shuffled, FrameBits: 10, Seed: 11})
+	seen := map[uint64]bool{}
+	for p := uint64(0); p < 1024; p++ {
+		pa, err := m.Translate(p << 12)
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		frame := pa >> 12
+		if frame >= 1024 {
+			t.Fatalf("frame %d out of range", frame)
+		}
+		if seen[frame] {
+			t.Fatalf("frame %d assigned twice", frame)
+		}
+		seen[frame] = true
+	}
+}
+
+func TestFrameExhaustion(t *testing.T) {
+	m := New(Config{Policy: Sequential, FrameBits: 2}) // 4 frames
+	for p := uint64(0); p < 4; p++ {
+		if _, err := m.Translate(p << 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Translate(4 << 12); err == nil {
+		t.Error("exhaustion not reported")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTranslate did not panic on exhaustion")
+		}
+	}()
+	m.MustTranslate(5 << 12)
+}
+
+func TestCustomPageBits(t *testing.T) {
+	m := New(Config{Policy: Sequential, PageBits: 16}) // 64 KiB pages
+	if m.PageSize() != 65536 {
+		t.Errorf("page size = %d", m.PageSize())
+	}
+	a, _ := m.Translate(0x10000)
+	b, _ := m.Translate(0x1ffff)
+	if a>>16 != b>>16 {
+		t.Error("64K page split")
+	}
+}
+
+func TestTranslateAll(t *testing.T) {
+	m := New(Config{Policy: Sequential})
+	out, err := m.TranslateAll([]uint64{0x1000, 0x2000, 0x1004})
+	if err != nil || len(out) != 3 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if out[2]-out[0] != 4 {
+		t.Error("same-page addresses diverged")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Identity.String() != "identity" || Sequential.String() != "sequential" ||
+		Shuffled.String() != "shuffled" || Policy(9).String() == "" {
+		t.Error("policy strings")
+	}
+}
+
+// TestPhysicallyIndexedSimulation exercises the paper's §VI scenario: the
+// same trace simulated with virtual vs physical indexing gives the same hit
+// totals on a small cache whose index bits fall inside the page offset
+// (translation cannot change those sets), but may differ once index bits
+// extend beyond the page.
+func TestPhysicallyIndexedSimulation(t *testing.T) {
+	res, err := tracer.Run(workloads.MatMul, map[string]string{"N": "16"}, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small cache: 128 sets × 32 B = index+offset bits = 12 → entirely
+	// within a 4 KiB page: physical indexing must be identical.
+	small := cache.Config{Size: 4096, BlockSize: 32, Assoc: 1}
+	vSim, err := dinero.New(dinero.Options{L1: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Policy: Shuffled, Seed: 5})
+	pSim, err := dinero.New(dinero.Options{L1: small, Translate: m.MustTranslate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vSim.Process(res.Records)
+	pSim.Process(res.Records)
+	if vSim.L1().Stats().Misses() != pSim.L1().Stats().Misses() {
+		t.Errorf("page-offset-indexed cache diverged: %d vs %d misses",
+			vSim.L1().Stats().Misses(), pSim.L1().Stats().Misses())
+	}
+
+	// Large direct-mapped cache: index bits beyond the page offset — the
+	// shuffled mapping redistributes pages across sets, so per-set
+	// occupancy (not totals) must change for a multi-page working set.
+	big := cache.Config{Size: 1 << 20, BlockSize: 32, Assoc: 1}
+	vBig, _ := dinero.New(dinero.Options{L1: big})
+	m2 := New(Config{Policy: Shuffled, Seed: 5})
+	pBig, _ := dinero.New(dinero.Options{L1: big, Translate: m2.MustTranslate})
+	vBig.Process(res.Records)
+	pBig.Process(res.Records)
+	vSets := vBig.L1().Stats().OccupiedSets()
+	pSets := pBig.L1().Stats().OccupiedSets()
+	same := len(vSets) == len(pSets)
+	if same {
+		for i := range vSets {
+			if vSets[i] != pSets[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && m2.MappedPages() > 1 {
+		t.Error("shuffled physical mapping did not move any set traffic")
+	}
+}
+
+func TestTraceRecordTranslation(t *testing.T) {
+	// End-to-end: rewrite a real trace's addresses through the mapper.
+	res, err := tracer.Run(workloads.Trans1SoA, map[string]string{"LEN": "4"}, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Policy: Sequential})
+	for i := range res.Records {
+		pa, err := m.Translate(res.Records[i].Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Records[i].Addr = pa
+	}
+	// Stack page(s) got low frames; all addresses now far below StackTop.
+	for i := range res.Records {
+		if res.Records[i].Addr > uint64(m.MappedPages())<<12 {
+			t.Errorf("untranslated address %#x", res.Records[i].Addr)
+		}
+	}
+	_ = trace.Format
+}

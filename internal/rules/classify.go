@@ -1,0 +1,256 @@
+package rules
+
+import (
+	"fmt"
+
+	"tracedst/internal/ctype"
+)
+
+// classify turns the parsed sections into a validated Rule.
+func (p *rparser) classify() (Rule, error) {
+	if !p.in[0].isStruct {
+		return p.classifyStride()
+	}
+	for _, d := range p.out {
+		if d.isStruct && len(d.ptrFields) > 0 {
+			return p.classifyOutline(d)
+		}
+	}
+	if len(p.out) > 1 {
+		return p.classifyPeel()
+	}
+	return p.classifyRemap()
+}
+
+// classifyPeel validates a structure-peeling rule: one in array-of-struct,
+// several out arrays-of-struct that partition its members.
+func (p *rparser) classifyPeel() (Rule, error) {
+	if len(p.in) != 1 || !p.in[0].isStruct || p.in[0].arrayLen == 0 {
+		return nil, fmt.Errorf("rules: peel needs a single in array-of-struct")
+	}
+	in := p.in[0]
+	r := &PeelRule{
+		InVar:   in.name,
+		InType:  ctype.NewArray(in.st, in.arrayLen),
+		ByField: map[string]int{},
+		injects: p.injects,
+	}
+	for _, d := range p.out {
+		if !d.isStruct || d.arrayLen == 0 {
+			return nil, fmt.Errorf("rules: peel out declaration %s must be an array-of-struct", d.name)
+		}
+		if d.arrayLen != in.arrayLen {
+			return nil, fmt.Errorf("rules: peel group %s has length %d, in has %d", d.name, d.arrayLen, in.arrayLen)
+		}
+		gi := len(r.Groups)
+		r.Groups = append(r.Groups, PeelGroup{Var: d.name, Type: ctype.NewArray(d.st, d.arrayLen)})
+		for _, f := range d.st.Fields {
+			inF, ok := in.st.FieldByName(f.Name)
+			if !ok {
+				return nil, fmt.Errorf("rules: peel group %s has member %q absent from %s", d.name, f.Name, in.name)
+			}
+			if inF.Type.Size() != f.Type.Size() {
+				return nil, fmt.Errorf("rules: peel member %q changes size", f.Name)
+			}
+			if _, dup := r.ByField[f.Name]; dup {
+				return nil, fmt.Errorf("rules: peel member %q appears in two groups", f.Name)
+			}
+			r.ByField[f.Name] = gi
+		}
+	}
+	for _, f := range in.st.Fields {
+		if _, ok := r.ByField[f.Name]; !ok {
+			return nil, fmt.Errorf("rules: peel leaves member %q unassigned", f.Name)
+		}
+	}
+	return r, nil
+}
+
+// classifyStride validates a Listing 11 rule.
+func (p *rparser) classifyStride() (Rule, error) {
+	in := p.in[0]
+	if len(p.in) != 1 {
+		return nil, fmt.Errorf("rules: stride rules take exactly one in declaration")
+	}
+	if in.target == "" {
+		return nil, fmt.Errorf("rules: stride in-array %s needs a ':target' rename", in.name)
+	}
+	var out *rdecl
+	for i := range p.out {
+		if !p.out[i].isStruct && p.out[i].name == in.target {
+			out = &p.out[i]
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("rules: stride target %q not declared in out section", in.target)
+	}
+	if out.formula == nil {
+		return nil, fmt.Errorf("rules: stride out-array %s needs an index formula", out.name)
+	}
+	if in.elem != out.elem {
+		return nil, fmt.Errorf("rules: stride element types differ: %s vs %s", in.elem, out.elem)
+	}
+	// The formula must stay within the out array for every original index.
+	for i := int64(0); i < in.length; i++ {
+		j, err := out.formula.Eval(i)
+		if err != nil {
+			return nil, err
+		}
+		if j < 0 || j >= out.length {
+			return nil, fmt.Errorf("rules: formula maps index %d to %d, outside %s[%d]",
+				i, j, out.name, out.length)
+		}
+	}
+	return &StrideRule{
+		InVar:   in.name,
+		Elem:    in.elem,
+		InLen:   in.length,
+		OutVar:  out.name,
+		OutLen:  out.length,
+		Formula: out.formula,
+		injects: p.injects,
+	}, nil
+}
+
+// classifyOutline validates a Listing 8 rule. outMain is the out struct
+// containing the pointer member.
+func (p *rparser) classifyOutline(outMain rdecl) (Rule, error) {
+	if len(outMain.ptrFields) != 1 {
+		return nil, fmt.Errorf("rules: outline out-struct %s must have exactly one pointer member", outMain.name)
+	}
+	var field, poolName string
+	for f, pl := range outMain.ptrFields {
+		field, poolName = f, pl
+	}
+	var pool *rdecl
+	for i := range p.out {
+		if p.out[i].isStruct && p.out[i].name == poolName {
+			pool = &p.out[i]
+		}
+	}
+	if pool == nil || pool.arrayLen == 0 {
+		return nil, fmt.Errorf("rules: outline pool %q must be an out array-of-struct", poolName)
+	}
+	// The outer in struct is the last declaration (bottom-up nesting:
+	// "the top most defined rule is the deepest structure").
+	outer := p.in[len(p.in)-1]
+	if !outer.isStruct || outer.arrayLen == 0 {
+		return nil, fmt.Errorf("rules: outline in rule must end with an array-of-struct declaration")
+	}
+	nestedField, ok := outer.st.FieldByName(field)
+	if !ok {
+		return nil, fmt.Errorf("rules: in struct %s has no nested member %q", outer.name, field)
+	}
+	nested, ok := nestedField.Type.(*ctype.Struct)
+	if !ok {
+		return nil, fmt.Errorf("rules: in member %q is not a nested structure", field)
+	}
+	if outer.arrayLen != outMain.arrayLen || outer.arrayLen != pool.arrayLen {
+		return nil, fmt.Errorf("rules: outline lengths differ: in %d, out %d, pool %d",
+			outer.arrayLen, outMain.arrayLen, pool.arrayLen)
+	}
+	// Pool elements must carry the nested structure's members by name.
+	if err := fieldsMatch(nested, pool.st); err != nil {
+		return nil, fmt.Errorf("rules: pool %s does not match nested %s: %v", pool.name, field, err)
+	}
+	// The remaining members of the outer struct must appear in the out
+	// struct under the same names.
+	for _, f := range outer.st.Fields {
+		if f.Name == field {
+			continue
+		}
+		of, ok := outMain.st.FieldByName(f.Name)
+		if !ok {
+			return nil, fmt.Errorf("rules: out struct %s lacks member %q", outMain.name, f.Name)
+		}
+		if of.Type.Size() != f.Type.Size() {
+			return nil, fmt.Errorf("rules: member %q changes size (%d → %d)", f.Name, f.Type.Size(), of.Type.Size())
+		}
+	}
+	return &OutlineRule{
+		InVar:       outer.name,
+		InType:      ctype.NewArray(outer.st, outer.arrayLen),
+		NestedField: field,
+		NestedType:  nested,
+		OutVar:      outMain.name,
+		OutType:     ctype.NewArray(outMain.st, outMain.arrayLen),
+		PoolVar:     pool.name,
+		PoolType:    ctype.NewArray(pool.st, pool.arrayLen),
+		injects:     p.injects,
+	}, nil
+}
+
+// classifyRemap validates a Listing 5 rule (either direction).
+func (p *rparser) classifyRemap() (Rule, error) {
+	if len(p.in) != 1 || len(p.out) != 1 {
+		return nil, fmt.Errorf("rules: struct remap takes exactly one in and one out declaration")
+	}
+	in, out := p.in[0], p.out[0]
+	if !in.isStruct || !out.isStruct {
+		return nil, fmt.Errorf("rules: struct remap needs struct declarations on both sides")
+	}
+	// Field names must correspond one to one ("structure's element names
+	// must match").
+	if len(in.st.Fields) != len(out.st.Fields) {
+		return nil, fmt.Errorf("rules: field counts differ (%d vs %d)", len(in.st.Fields), len(out.st.Fields))
+	}
+	for _, f := range in.st.Fields {
+		of, ok := out.st.FieldByName(f.Name)
+		if !ok {
+			return nil, fmt.Errorf("rules: out struct %s lacks member %q", out.name, f.Name)
+		}
+		inN, inElem := fieldExtent(f.Type, in.arrayLen)
+		outN, outElem := fieldExtent(of.Type, out.arrayLen)
+		if inN != outN {
+			return nil, fmt.Errorf("rules: member %q element counts differ (%d vs %d)", f.Name, inN, outN)
+		}
+		if inElem.Size() != outElem.Size() {
+			return nil, fmt.Errorf("rules: member %q scalar sizes differ (%s vs %s)", f.Name, inElem, outElem)
+		}
+	}
+	return &StructRemapRule{
+		InVar:   in.name,
+		InType:  withArray(in.st, in.arrayLen),
+		OutVar:  out.name,
+		OutType: withArray(out.st, out.arrayLen),
+		injects: p.injects,
+	}, nil
+}
+
+// fieldExtent returns the number of scalar elements a member contributes
+// (its own array length × the struct-level array length) and the scalar
+// element type.
+func fieldExtent(t ctype.Type, structArrayLen int64) (int64, ctype.Type) {
+	n := structArrayLen
+	if n == 0 {
+		n = 1
+	}
+	if at, ok := t.(*ctype.Array); ok {
+		return n * at.Len, at.Elem
+	}
+	return n, t
+}
+
+func withArray(st *ctype.Struct, n int64) ctype.Type {
+	if n > 0 {
+		return ctype.NewArray(st, n)
+	}
+	return st
+}
+
+// fieldsMatch checks that b has exactly a's field names with same-size types.
+func fieldsMatch(a, b *ctype.Struct) error {
+	if len(a.Fields) != len(b.Fields) {
+		return fmt.Errorf("field counts differ (%d vs %d)", len(a.Fields), len(b.Fields))
+	}
+	for _, f := range a.Fields {
+		bf, ok := b.FieldByName(f.Name)
+		if !ok {
+			return fmt.Errorf("missing member %q", f.Name)
+		}
+		if bf.Type.Size() != f.Type.Size() {
+			return fmt.Errorf("member %q size differs", f.Name)
+		}
+	}
+	return nil
+}

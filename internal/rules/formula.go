@@ -1,0 +1,218 @@
+// Package rules implements the transformation rule language of the paper's
+// Listings 5, 8 and 11: a rule file declares an "in" structure shape and an
+// "out" shape, and the transformation engine rewrites every trace line whose
+// metadata matches the in shape into the out layout. Three rule kinds are
+// supported, mirroring the paper:
+//
+//   - structure remap (SoA→AoS and the reverse) — Listing 5
+//   - nested-structure outlining through a pointer and an external pool —
+//     Listing 8 (the "* field:pool" member syntax)
+//   - array striding with an index formula for cache-set pinning —
+//     Listing 11 ("name[len (formula)]"), plus an "inject:" section listing
+//     the extra scalar loads the stride arithmetic performs (the paper
+//     hand-forces these instructions)
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Formula is an integer index-mapping expression over a single free
+// variable (the original element index), e.g. (lI/8)*(16*8)+(lI%8).
+type Formula struct {
+	root fnode
+	// Var is the name of the free variable as written in the rule.
+	Var string
+	// Src is the original text, for display.
+	Src string
+}
+
+type fnode interface {
+	eval(i int64) (int64, error)
+}
+
+type fconst int64
+
+func (c fconst) eval(int64) (int64, error) { return int64(c), nil }
+
+type fvar struct{}
+
+func (fvar) eval(i int64) (int64, error) { return i, nil }
+
+type fbin struct {
+	op   byte
+	l, r fnode
+}
+
+func (b fbin) eval(i int64) (int64, error) {
+	l, err := b.l.eval(i)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(i)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("rules: division by zero in formula")
+		}
+		return l / r, nil
+	case '%':
+		if r == 0 {
+			return 0, fmt.Errorf("rules: modulo by zero in formula")
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("rules: bad operator %q", b.op)
+}
+
+// Eval applies the formula to index i.
+func (f *Formula) Eval(i int64) (int64, error) {
+	if f == nil || f.root == nil {
+		return i, nil // identity
+	}
+	return f.root.eval(i)
+}
+
+// String returns the formula source.
+func (f *Formula) String() string { return f.Src }
+
+// ParseFormula parses an index formula. Every identifier in the expression
+// denotes the same free variable; mixing two different names is an error.
+func ParseFormula(src string) (*Formula, error) {
+	p := &fparser{src: src}
+	p.skipSpace()
+	root, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("rules: trailing input %q in formula %q", p.src[p.pos:], src)
+	}
+	return &Formula{root: root, Var: p.varName, Src: strings.TrimSpace(src)}, nil
+}
+
+type fparser struct {
+	src     string
+	pos     int
+	varName string
+}
+
+func (p *fparser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *fparser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *fparser) parseAdd() (fnode, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '+' && c != '-' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = fbin{op: c, l: l, r: r}
+	}
+}
+
+func (p *fparser) parseMul() (fnode, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '*' && c != '/' && c != '%' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = fbin{op: c, l: l, r: r}
+	}
+}
+
+func (p *fparser) parsePrimary() (fnode, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		n, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rules: missing ')' in formula %q", p.src)
+		}
+		p.pos++
+		return n, nil
+	case c == '-':
+		p.pos++
+		n, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return fbin{op: '-', l: fconst(0), r: n}, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rules: bad number in formula: %v", err)
+		}
+		return fconst(v), nil
+	case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] == '_' ||
+			(p.src[p.pos] >= 'a' && p.src[p.pos] <= 'z') ||
+			(p.src[p.pos] >= 'A' && p.src[p.pos] <= 'Z') ||
+			(p.src[p.pos] >= '0' && p.src[p.pos] <= '9')) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if p.varName == "" {
+			p.varName = name
+		} else if p.varName != name {
+			return nil, fmt.Errorf("rules: formula uses two variables %q and %q", p.varName, name)
+		}
+		return fvar{}, nil
+	case c == 0:
+		return nil, fmt.Errorf("rules: unexpected end of formula %q", p.src)
+	default:
+		return nil, fmt.Errorf("rules: unexpected %q in formula %q", c, p.src)
+	}
+}

@@ -1,0 +1,417 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"tracedst/internal/ctype"
+)
+
+// Parse reads one rule file (the format of Listings 5, 8 and 11) and
+// returns the validated rule.
+func Parse(src string) (Rule, error) {
+	p := &rparser{toks: rlex(src)}
+	if err := p.parseSections(); err != nil {
+		return nil, err
+	}
+	return p.classify()
+}
+
+// ---------------------------------------------------------------------------
+// lexer
+
+type rtok struct {
+	text  string
+	num   int64
+	isNum bool
+	line  int
+}
+
+func rlex(src string) []rtok {
+	var toks []rtok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i
+			for j < len(src) && (src[j] == '_' || unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, rtok{text: src[i:j], line: line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			n, _ := strconv.ParseInt(src[i:j], 10, 64)
+			toks = append(toks, rtok{text: src[i:j], num: n, isNum: true, line: line})
+			i = j
+		default:
+			toks = append(toks, rtok{text: string(c), line: line})
+			i++
+		}
+	}
+	toks = append(toks, rtok{text: "", line: line}) // EOF
+	return toks
+}
+
+// ---------------------------------------------------------------------------
+// parser
+
+// rdecl is one declaration in a section, before classification.
+type rdecl struct {
+	// struct declarations
+	isStruct bool
+	name     string
+	st       *ctype.Struct
+	arrayLen int64 // trailing [N]; 0 = scalar struct
+	// ptrFields maps pointer member name → pool variable name.
+	ptrFields map[string]string
+
+	// array declarations (stride rules)
+	elem    ctype.Type
+	length  int64
+	target  string // ":name" rename target (in rules)
+	formula *Formula
+}
+
+type rparser struct {
+	toks []rtok
+	pos  int
+
+	in      []rdecl
+	out     []rdecl
+	injects []InjectAccess
+	// structs declared so far in the current section, by name.
+	inStructs  map[string]*ctype.Struct
+	outStructs map[string]*ctype.Struct
+}
+
+func (p *rparser) peek() rtok { return p.toks[p.pos] }
+
+func (p *rparser) next() rtok {
+	t := p.toks[p.pos]
+	if t.text != "" || p.pos < len(p.toks)-1 {
+		if p.pos < len(p.toks)-1 {
+			p.pos++
+		}
+	}
+	return t
+}
+
+func (p *rparser) eof() bool { return p.pos >= len(p.toks)-1 }
+
+func (p *rparser) errf(t rtok, format string, args ...interface{}) error {
+	return fmt.Errorf("rules: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *rparser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return p.errf(t, "expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *rparser) parseSections() error {
+	p.inStructs = map[string]*ctype.Struct{}
+	p.outStructs = map[string]*ctype.Struct{}
+	section := ""
+	for !p.eof() {
+		t := p.peek()
+		if (t.text == "in" || t.text == "out" || t.text == "inject") && p.toks[p.pos+1].text == ":" {
+			section = t.text
+			p.pos += 2
+			continue
+		}
+		switch section {
+		case "in":
+			d, err := p.parseDecl(p.inStructs, false)
+			if err != nil {
+				return err
+			}
+			p.in = append(p.in, d)
+		case "out":
+			d, err := p.parseDecl(p.outStructs, true)
+			if err != nil {
+				return err
+			}
+			p.out = append(p.out, d)
+		case "inject":
+			inj, err := p.parseInject()
+			if err != nil {
+				return err
+			}
+			p.injects = append(p.injects, inj)
+		default:
+			return p.errf(t, "declaration outside in:/out:/inject: section")
+		}
+	}
+	if len(p.in) == 0 || len(p.out) == 0 {
+		return fmt.Errorf("rules: file needs both an in: and an out: section")
+	}
+	return nil
+}
+
+// parseInject parses "L name;" (optionally "L name 8;").
+func (p *rparser) parseInject() (InjectAccess, error) {
+	opTok := p.next()
+	if opTok.text != "L" && opTok.text != "S" && opTok.text != "M" {
+		return InjectAccess{}, p.errf(opTok, "inject op must be L, S or M, got %q", opTok.text)
+	}
+	nameTok := p.next()
+	if nameTok.text == "" || nameTok.isNum {
+		return InjectAccess{}, p.errf(nameTok, "expected variable name after inject op")
+	}
+	inj := InjectAccess{Op: opTok.text[0], Var: nameTok.text, Size: 4}
+	if p.peek().isNum {
+		inj.Size = p.next().num
+	}
+	if err := p.expect(";"); err != nil {
+		return InjectAccess{}, err
+	}
+	return inj, nil
+}
+
+// parseDecl parses a struct or array declaration.
+func (p *rparser) parseDecl(structs map[string]*ctype.Struct, isOut bool) (rdecl, error) {
+	t := p.peek()
+	if t.text == "struct" {
+		return p.parseStructDecl(structs, isOut)
+	}
+	return p.parseArrayDecl(isOut)
+}
+
+// parseStructDecl parses: struct NAME { fields } [N]? ;
+func (p *rparser) parseStructDecl(structs map[string]*ctype.Struct, isOut bool) (rdecl, error) {
+	p.next() // struct
+	nameTok := p.next()
+	if nameTok.text == "" || nameTok.isNum {
+		return rdecl{}, p.errf(nameTok, "expected struct name")
+	}
+	d := rdecl{isStruct: true, name: nameTok.text, ptrFields: map[string]string{}}
+	if err := p.expect("{"); err != nil {
+		return rdecl{}, err
+	}
+	var fields []ctype.Field
+	for p.peek().text != "}" {
+		if p.eof() {
+			return rdecl{}, p.errf(p.peek(), "unterminated struct body for %s", d.name)
+		}
+		switch p.peek().text {
+		case "struct":
+			// Nested reference: "struct NAME;" — field named NAME with the
+			// previously declared rule struct's shape (bottom-up nesting).
+			p.next()
+			ref := p.next()
+			st, ok := structs[ref.text]
+			if !ok {
+				return rdecl{}, p.errf(ref, "nested struct %q not declared earlier in this section", ref.text)
+			}
+			if err := p.expect(";"); err != nil {
+				return rdecl{}, err
+			}
+			fields = append(fields, ctype.Field{Name: ref.text, Type: st})
+		case "*":
+			// Pointer member: "* name:pool;"
+			if !isOut {
+				return rdecl{}, p.errf(p.peek(), "pointer members are only valid in out rules")
+			}
+			p.next()
+			nm := p.next()
+			if nm.text == "" || nm.isNum {
+				return rdecl{}, p.errf(nm, "expected pointer member name")
+			}
+			if err := p.expect(":"); err != nil {
+				return rdecl{}, err
+			}
+			pool := p.next()
+			if pool.text == "" || pool.isNum {
+				return rdecl{}, p.errf(pool, "expected pool name after ':'")
+			}
+			poolSt, ok := structs[pool.text]
+			if !ok {
+				return rdecl{}, p.errf(pool, "pool %q not declared earlier in the out section", pool.text)
+			}
+			if err := p.expect(";"); err != nil {
+				return rdecl{}, err
+			}
+			fields = append(fields, ctype.Field{Name: nm.text, Type: ctype.NewPointer(poolSt)})
+			d.ptrFields[nm.text] = pool.text
+		default:
+			f, err := p.parseField()
+			if err != nil {
+				return rdecl{}, err
+			}
+			fields = append(fields, f)
+		}
+	}
+	p.next() // }
+	d.st = ctype.NewStruct(d.name, fields)
+	structs[d.name] = d.st
+	if p.peek().text == "[" {
+		p.next()
+		lenTok := p.next()
+		if !lenTok.isNum || lenTok.num <= 0 {
+			return rdecl{}, p.errf(lenTok, "expected positive array length")
+		}
+		d.arrayLen = lenTok.num
+		if err := p.expect("]"); err != nil {
+			return rdecl{}, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return rdecl{}, err
+	}
+	return d, nil
+}
+
+// parseField parses "type name [N]*;".
+func (p *rparser) parseField() (ctype.Field, error) {
+	ty, err := p.parsePrimType()
+	if err != nil {
+		return ctype.Field{}, err
+	}
+	nameTok := p.next()
+	if nameTok.text == "" || nameTok.isNum {
+		return ctype.Field{}, p.errf(nameTok, "expected field name")
+	}
+	var dims []int64
+	for p.peek().text == "[" {
+		p.next()
+		lt := p.next()
+		if !lt.isNum || lt.num <= 0 {
+			return ctype.Field{}, p.errf(lt, "expected positive array length")
+		}
+		dims = append(dims, lt.num)
+		if err := p.expect("]"); err != nil {
+			return ctype.Field{}, err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = ctype.NewArray(ty, dims[i])
+	}
+	if err := p.expect(";"); err != nil {
+		return ctype.Field{}, err
+	}
+	return ctype.Field{Name: nameTok.text, Type: ty}, nil
+}
+
+// parsePrimType parses a (possibly multi-word) primitive type name.
+func (p *rparser) parsePrimType() (ctype.Type, error) {
+	t := p.next()
+	if t.text == "" || t.isNum {
+		return nil, p.errf(t, "expected type name")
+	}
+	words := []string{t.text}
+	for {
+		cand := strings.Join(append(append([]string{}, words...), p.peek().text), " ")
+		if _, ok := ctype.PrimitiveByName(cand); ok && !p.peek().isNum {
+			words = append(words, p.next().text)
+			continue
+		}
+		break
+	}
+	name := strings.Join(words, " ")
+	prim, ok := ctype.PrimitiveByName(name)
+	if !ok {
+		return nil, p.errf(t, "unknown type %q", name)
+	}
+	return prim, nil
+}
+
+// parseArrayDecl parses stride declarations:
+//
+//	in:  type NAME [N] : TARGET ;
+//	out: type NAME [N (formula)] ;
+func (p *rparser) parseArrayDecl(isOut bool) (rdecl, error) {
+	ty, err := p.parsePrimType()
+	if err != nil {
+		return rdecl{}, err
+	}
+	nameTok := p.next()
+	if nameTok.text == "" || nameTok.isNum {
+		return rdecl{}, p.errf(nameTok, "expected array name")
+	}
+	d := rdecl{name: nameTok.text, elem: ty}
+	if err := p.expect("["); err != nil {
+		return rdecl{}, err
+	}
+	lenTok := p.next()
+	if !lenTok.isNum || lenTok.num <= 0 {
+		return rdecl{}, p.errf(lenTok, "expected positive array length")
+	}
+	d.length = lenTok.num
+	if p.peek().text == "(" {
+		src, err := p.captureParens()
+		if err != nil {
+			return rdecl{}, err
+		}
+		f, err := ParseFormula(src)
+		if err != nil {
+			return rdecl{}, err
+		}
+		d.formula = f
+	}
+	if err := p.expect("]"); err != nil {
+		return rdecl{}, err
+	}
+	if p.peek().text == ":" {
+		p.next()
+		tt := p.next()
+		if tt.text == "" || tt.isNum {
+			return rdecl{}, p.errf(tt, "expected rename target after ':'")
+		}
+		d.target = tt.text
+	}
+	if err := p.expect(";"); err != nil {
+		return rdecl{}, err
+	}
+	_ = isOut
+	return d, nil
+}
+
+// captureParens consumes a balanced parenthesised token run and returns its
+// source text (with the outer parens stripped).
+func (p *rparser) captureParens() (string, error) {
+	if err := p.expect("("); err != nil {
+		return "", err
+	}
+	depth := 1
+	var b strings.Builder
+	for depth > 0 {
+		t := p.next()
+		if t.text == "" {
+			return "", fmt.Errorf("rules: unterminated formula")
+		}
+		switch t.text {
+		case "(":
+			depth++
+		case ")":
+			depth--
+			if depth == 0 {
+				return b.String(), nil
+			}
+		}
+		b.WriteString(t.text)
+	}
+	return b.String(), nil
+}

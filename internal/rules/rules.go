@@ -1,0 +1,221 @@
+package rules
+
+import (
+	"fmt"
+
+	"tracedst/internal/ctype"
+)
+
+// Kind identifies the transformation a rule performs.
+type Kind int
+
+// Rule kinds.
+const (
+	// KindStructRemap maps a structure-of-arrays onto an array-of-structures
+	// or vice versa (Listing 5).
+	KindStructRemap Kind = iota
+	// KindOutline moves a nested structure into an external pool reached
+	// through a pointer member, inserting the indirection load (Listing 8).
+	KindOutline
+	// KindStride remaps array indices through a formula to pin accesses to
+	// chosen cache sets (Listing 11).
+	KindStride
+	// KindPeel splits an array of structures into parallel arrays, one per
+	// member group — the "structure peeling" of the compiler literature the
+	// paper cites (Chakrabarti & Chow), expressed in trace form: no
+	// pointer, each group simply becomes its own array.
+	KindPeel
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindStructRemap:
+		return "struct-remap"
+	case KindOutline:
+		return "outline"
+	case KindStride:
+		return "stride"
+	case KindPeel:
+		return "peel"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule is a parsed transformation rule. Exactly one of the concrete rule
+// types implements it per file.
+type Rule interface {
+	// Kind reports the transformation type.
+	Kind() Kind
+	// InRoot is the root variable name the rule applies to. Rules are
+	// one-directional: only in→out is rewritten (paper §IV.A).
+	InRoot() string
+	// OutRoot is the primary replacement variable name.
+	OutRoot() string
+	// Inject lists extra accesses to insert before each transformed record.
+	Inject() []InjectAccess
+}
+
+// InjectAccess is one entry of an "inject:" section: an access to a named
+// scalar inserted before every transformed record (the paper's hand-forced
+// stride-arithmetic instructions).
+type InjectAccess struct {
+	// Op is 'L', 'S' or 'M'.
+	Op byte
+	// Var is the scalar variable to access.
+	Var string
+	// Size in bytes (default 4).
+	Size int64
+}
+
+// StructRemapRule implements Listing 5: an in structure and an out structure
+// with matching element names ("the current limitation is that structure's
+// element names must match").
+type StructRemapRule struct {
+	InVar  string
+	InType ctype.Type // *ctype.Struct (SoA) or *ctype.Array of struct (AoS)
+
+	OutVar  string
+	OutType ctype.Type
+
+	injects []InjectAccess
+}
+
+// Kind implements Rule.
+func (r *StructRemapRule) Kind() Kind { return KindStructRemap }
+
+// InRoot implements Rule.
+func (r *StructRemapRule) InRoot() string { return r.InVar }
+
+// OutRoot implements Rule.
+func (r *StructRemapRule) OutRoot() string { return r.OutVar }
+
+// Inject implements Rule.
+func (r *StructRemapRule) Inject() []InjectAccess { return r.injects }
+
+// OutlineRule implements Listing 8.
+type OutlineRule struct {
+	InVar  string
+	InType *ctype.Array // of struct with the nested field inline
+	// NestedField is the name of the nested structure member being
+	// outlined (also the pointer member's name in the out structure).
+	NestedField string
+	// NestedType is the nested structure's shape.
+	NestedType *ctype.Struct
+
+	OutVar  string
+	OutType *ctype.Array // of struct with a pointer member
+	// PoolVar is the external storage array for the outlined structures.
+	PoolVar  string
+	PoolType *ctype.Array
+
+	injects []InjectAccess
+}
+
+// Kind implements Rule.
+func (r *OutlineRule) Kind() Kind { return KindOutline }
+
+// InRoot implements Rule.
+func (r *OutlineRule) InRoot() string { return r.InVar }
+
+// OutRoot implements Rule.
+func (r *OutlineRule) OutRoot() string { return r.OutVar }
+
+// Inject implements Rule.
+func (r *OutlineRule) Inject() []InjectAccess { return r.injects }
+
+// StrideRule implements Listing 11.
+type StrideRule struct {
+	InVar string
+	// Elem is the array element type (the paper uses int).
+	Elem ctype.Type
+	// InLen is the original element count.
+	InLen int64
+
+	OutVar string
+	// OutLen is the transformed element count (larger: space is traded for
+	// set placement).
+	OutLen int64
+	// Formula maps an original element index to a transformed index.
+	Formula *Formula
+
+	injects []InjectAccess
+}
+
+// Kind implements Rule.
+func (r *StrideRule) Kind() Kind { return KindStride }
+
+// InRoot implements Rule.
+func (r *StrideRule) InRoot() string { return r.InVar }
+
+// OutRoot implements Rule.
+func (r *StrideRule) OutRoot() string { return r.OutVar }
+
+// Inject implements Rule.
+func (r *StrideRule) Inject() []InjectAccess { return r.injects }
+
+// PeelRule splits struct members across several out arrays. Every member
+// of the in structure must appear in exactly one out structure.
+type PeelRule struct {
+	InVar  string
+	InType *ctype.Array // of struct
+
+	// Groups are the out arrays in declaration order.
+	Groups []PeelGroup
+	// byField maps member name → group index.
+	ByField map[string]int
+
+	injects []InjectAccess
+}
+
+// PeelGroup is one peeled-out array.
+type PeelGroup struct {
+	Var  string
+	Type *ctype.Array // of struct holding a subset of the members
+}
+
+// Kind implements Rule.
+func (r *PeelRule) Kind() Kind { return KindPeel }
+
+// InRoot implements Rule.
+func (r *PeelRule) InRoot() string { return r.InVar }
+
+// OutRoot implements Rule: the first group is the primary replacement.
+func (r *PeelRule) OutRoot() string { return r.Groups[0].Var }
+
+// Inject implements Rule.
+func (r *PeelRule) Inject() []InjectAccess { return r.injects }
+
+// InSize returns the byte size of the rule's in shape (for diagnostics).
+func InSize(r Rule) int64 {
+	switch rr := r.(type) {
+	case *StructRemapRule:
+		return rr.InType.Size()
+	case *OutlineRule:
+		return rr.InType.Size()
+	case *StrideRule:
+		return rr.Elem.Size() * rr.InLen
+	case *PeelRule:
+		return rr.InType.Size()
+	}
+	return 0
+}
+
+// OutSize returns the byte size of the rule's primary out shape.
+func OutSize(r Rule) int64 {
+	switch rr := r.(type) {
+	case *StructRemapRule:
+		return rr.OutType.Size()
+	case *OutlineRule:
+		return rr.OutType.Size()
+	case *StrideRule:
+		return rr.Elem.Size() * rr.OutLen
+	case *PeelRule:
+		var n int64
+		for _, g := range rr.Groups {
+			n += g.Type.Size()
+		}
+		return n
+	}
+	return 0
+}

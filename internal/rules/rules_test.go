@@ -1,0 +1,435 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tracedst/internal/ctype"
+	"tracedst/internal/workloads"
+)
+
+func TestParseRuleTrans1(t *testing.T) {
+	r, err := Parse(workloads.RuleTrans1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := r.(*StructRemapRule)
+	if !ok {
+		t.Fatalf("kind = %v", r.Kind())
+	}
+	if rr.InRoot() != "lSoA" || rr.OutRoot() != "lAoS" {
+		t.Errorf("roots = %s → %s", rr.InRoot(), rr.OutRoot())
+	}
+	// In: bare struct of arrays, 192 bytes.
+	if rr.InType.Size() != 192 {
+		t.Errorf("in size = %d", rr.InType.Size())
+	}
+	// Out: array of 16 structs of 16 bytes each (padding!).
+	if rr.OutType.Size() != 256 {
+		t.Errorf("out size = %d", rr.OutType.Size())
+	}
+	if InSize(r) != 192 || OutSize(r) != 256 {
+		t.Errorf("InSize/OutSize = %d/%d", InSize(r), OutSize(r))
+	}
+	if r.Kind().String() != "struct-remap" {
+		t.Errorf("kind string = %s", r.Kind())
+	}
+}
+
+func TestParseRuleTrans1Reverse(t *testing.T) {
+	// AoS→SoA: the inverse direction must parse and validate too.
+	src := `
+in:
+struct lAoS {
+	int mX;
+	double mY;
+}[16];
+out:
+struct lSoA {
+	int mX[16];
+	double mY[16];
+};
+`
+	r, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InRoot() != "lAoS" || r.OutRoot() != "lSoA" {
+		t.Errorf("roots = %s → %s", r.InRoot(), r.OutRoot())
+	}
+}
+
+func TestParseRuleTrans2(t *testing.T) {
+	r, err := Parse(workloads.RuleTrans2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := r.(*OutlineRule)
+	if !ok {
+		t.Fatalf("kind = %v", r.Kind())
+	}
+	if or.InRoot() != "lS1" || or.OutRoot() != "lS2" || or.PoolVar != "lStorageForRarelyUsed" {
+		t.Errorf("rule = %+v", or)
+	}
+	if or.NestedField != "mRarelyUsed" {
+		t.Errorf("nested field = %q", or.NestedField)
+	}
+	// In: 16 × {int + struct{double,int}} = 16 × 24.
+	if or.InType.Size() != 384 {
+		t.Errorf("in size = %d", or.InType.Size())
+	}
+	// Out: 16 × {int + ptr} = 16 × 16.
+	if or.OutType.Size() != 256 {
+		t.Errorf("out size = %d", or.OutType.Size())
+	}
+	if or.PoolType.Size() != 256 {
+		t.Errorf("pool size = %d", or.PoolType.Size())
+	}
+}
+
+func TestParseRuleTrans3(t *testing.T) {
+	r, err := Parse(workloads.RuleTrans3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := r.(*StrideRule)
+	if !ok {
+		t.Fatalf("kind = %v", r.Kind())
+	}
+	if sr.InRoot() != "lContiguousArray" || sr.OutRoot() != "lSetHashingArray" {
+		t.Errorf("roots = %s → %s", sr.InRoot(), sr.OutRoot())
+	}
+	if sr.InLen != 1024 || sr.OutLen != 16384 {
+		t.Errorf("lens = %d → %d", sr.InLen, sr.OutLen)
+	}
+	// Formula: (lI/8)*(16*8)+(lI%8).
+	for _, c := range []struct{ i, want int64 }{
+		{0, 0}, {7, 7}, {8, 128}, {9, 129}, {15, 135}, {16, 256}, {1023, 16263},
+	} {
+		got, err := sr.Formula.Eval(c.i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("f(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	// Injected instructions (the paper's hand-forced loads).
+	inj := sr.Inject()
+	if len(inj) == 0 {
+		t.Fatal("no injects parsed")
+	}
+	for _, ia := range inj {
+		if ia.Op != 'L' || ia.Size != 4 {
+			t.Errorf("inject = %+v", ia)
+		}
+		if ia.Var != "lI" && ia.Var != "ITEMSPERLINE" {
+			t.Errorf("inject var = %q", ia.Var)
+		}
+	}
+}
+
+func TestFormulaParsing(t *testing.T) {
+	f, err := ParseFormula("(i/8)*(16*8)+(i%8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Var != "i" {
+		t.Errorf("var = %q", f.Var)
+	}
+	if got, _ := f.Eval(25); got != (25/8)*128+1 {
+		t.Errorf("f(25) = %d", got)
+	}
+	if f.String() == "" {
+		t.Error("empty formula source")
+	}
+}
+
+func TestFormulaPrecedenceAndUnary(t *testing.T) {
+	f, err := ParseFormula("2+3*4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.Eval(0); got != 14 {
+		t.Errorf("2+3*4 = %d", got)
+	}
+	f, err = ParseFormula("-3+i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.Eval(10); got != 7 {
+		t.Errorf("-3+i = %d", got)
+	}
+	f, err = ParseFormula("100-i-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.Eval(10); got != 89 { // left associative
+		t.Errorf("100-i-1 = %d", got)
+	}
+}
+
+func TestFormulaIdentityWhenNil(t *testing.T) {
+	var f *Formula
+	if got, err := f.Eval(5); err != nil || got != 5 {
+		t.Errorf("nil formula = %d, %v", got, err)
+	}
+}
+
+func TestFormulaErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "(", "i+", "i j", "i+k", "2 &", "()",
+	} {
+		if _, err := ParseFormula(bad); err == nil {
+			t.Errorf("ParseFormula(%q) unexpectedly succeeded", bad)
+		}
+	}
+	// Division by zero at eval time.
+	f, err := ParseFormula("i/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Eval(1); err == nil {
+		t.Error("division by zero not reported")
+	}
+	f, _ = ParseFormula("i%0")
+	if _, err := f.Eval(1); err == nil {
+		t.Error("modulo by zero not reported")
+	}
+}
+
+// Property: the paper's stride formula maps every index into a single
+// 32-element window modulo 128 (one cache line group per set).
+func TestStrideFormulaPinsProperty(t *testing.T) {
+	f, err := ParseFormula("(i/8)*(16*8)+(i%8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(raw uint16) bool {
+		i := int64(raw) % 1024
+		j, err := f.Eval(i)
+		if err != nil {
+			return false
+		}
+		// j*4 mod 512 ∈ [0,32): all accesses fall in the same 32-byte-per-
+		// 512-byte window, i.e. one set when the base is 512-aligned.
+		return (j*4)%512 < 32
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing out": `
+in:
+struct a { int x; };`,
+		"decl outside section": `
+struct a { int x; };`,
+		"field mismatch": `
+in:
+struct a { int x[4]; };
+out:
+struct b { int y; }[4];`,
+		"count mismatch": `
+in:
+struct a { int x[4]; };
+out:
+struct b { int x; }[8];`,
+		"size mismatch": `
+in:
+struct a { int x[4]; };
+out:
+struct b { double x; }[4];`,
+		"stride without target": `
+in:
+int a[16];
+out:
+int b[256 (i*16)];`,
+		"stride formula out of range": `
+in:
+int a[16]:b;
+out:
+int b[16 (i*16)];`,
+		"stride missing formula": `
+in:
+int a[16]:b;
+out:
+int b[256];`,
+		"outline pool missing": `
+in:
+struct n { int z; };
+struct s { int a; struct n; }[4];
+out:
+struct s2 { int a; * n:pool; }[4];`,
+		"pointer member in in rule": `
+in:
+struct s { * p:pool; }[4];
+out:
+struct s2 { int a; }[4];`,
+		"nested reference undeclared": `
+in:
+struct s { int a; struct missing; }[4];
+out:
+struct s2 { int a; }[4];`,
+		"unknown type": `
+in:
+struct a { quux x; };
+out:
+struct b { quux x; }[4];`,
+		"unterminated struct": `
+in:
+struct a { int x;`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseOutlineLengthMismatch(t *testing.T) {
+	src := strings.Replace(workloads.RuleTrans2, "struct lS2 {", "struct lS2x {", 1)
+	// Sanity: unmodified parses.
+	if _, err := Parse(workloads.RuleTrans2); err != nil {
+		t.Fatalf("canonical rule 2 failed: %v", err)
+	}
+	_ = src
+	bad := `
+in:
+struct mR { double y; int z; };
+struct lS1 { int a; struct mR; }[16];
+out:
+struct pool { double y; int z; }[8];
+struct lS2 { int a; * mR:pool; }[16];
+`
+	if _, err := Parse(bad); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInjectSizes(t *testing.T) {
+	src := `
+in:
+int a[4]:b;
+out:
+int b[64 (i*16)];
+inject:
+L x;
+M y 8;
+`
+	r, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := r.Inject()
+	if len(inj) != 2 || inj[0].Size != 4 || inj[1].Size != 8 || inj[1].Op != 'M' {
+		t.Errorf("injects = %+v", inj)
+	}
+}
+
+func TestGeneratedRuleHelpers(t *testing.T) {
+	for _, src := range []string{
+		workloads.RuleTrans1ForLen(8),
+		workloads.RuleTrans2ForLen(8),
+		workloads.RuleTrans3ForLen(64, 16, 8),
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("generated rule failed: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestRuleTrans2FieldTypes(t *testing.T) {
+	r, _ := Parse(workloads.RuleTrans2)
+	or := r.(*OutlineRule)
+	st := or.OutType.Elem.(*ctype.Struct)
+	f, ok := st.FieldByName("mRarelyUsed")
+	if !ok {
+		t.Fatal("pointer member missing")
+	}
+	if _, isPtr := f.Type.(*ctype.Pointer); !isPtr {
+		t.Errorf("member type = %v", f.Type)
+	}
+	if f.Offset != 8 {
+		t.Errorf("pointer member offset = %d, want 8", f.Offset)
+	}
+}
+
+func TestPeelRuleAccessors(t *testing.T) {
+	r, err := Parse(`
+in:
+struct lRec { int hot; double cold; }[8];
+out:
+struct lHot { int hot; }[8];
+struct lCold { double cold; }[8];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, ok := r.(*PeelRule)
+	if !ok {
+		t.Fatalf("kind = %v", r.Kind())
+	}
+	if pr.Kind() != KindPeel || pr.Kind().String() != "peel" {
+		t.Errorf("kind = %v", pr.Kind())
+	}
+	if pr.InRoot() != "lRec" || pr.OutRoot() != "lHot" {
+		t.Errorf("roots = %s → %s", pr.InRoot(), pr.OutRoot())
+	}
+	if pr.Inject() != nil {
+		t.Errorf("inject = %v", pr.Inject())
+	}
+	if InSize(pr) != 8*16 || OutSize(pr) != 8*4+8*8 {
+		t.Errorf("sizes = %d/%d", InSize(pr), OutSize(pr))
+	}
+	if KindPeel.String() != "peel" || Kind(99).String() == "" {
+		t.Error("kind strings")
+	}
+}
+
+func TestRuleAccessorsAllKinds(t *testing.T) {
+	outline, err := Parse(workloads.RuleTrans2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outline.Inject() != nil || outline.Kind() != KindOutline {
+		t.Errorf("outline = %v %v", outline.Kind(), outline.Inject())
+	}
+	stride, err := Parse(workloads.RuleTrans3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stride.Kind() != KindStride || len(stride.Inject()) == 0 {
+		t.Errorf("stride = %v", stride.Kind())
+	}
+	remap, err := Parse(workloads.RuleTrans1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remap.Kind() != KindStructRemap || remap.Inject() != nil {
+		t.Errorf("remap = %v", remap.Kind())
+	}
+	for _, r := range []Rule{outline, stride, remap} {
+		if InSize(r) <= 0 || OutSize(r) <= 0 {
+			t.Errorf("%v sizes = %d/%d", r.Kind(), InSize(r), OutSize(r))
+		}
+	}
+}
+
+func TestFieldsMatchErrors(t *testing.T) {
+	// Pool with wrong member size is rejected end to end.
+	bad := `
+in:
+struct mR { double y; int z; };
+struct lS1 { int a; struct mR; }[4];
+out:
+struct pool { int y; int z; }[4];
+struct lS2 { int a; * mR:pool; }[4];
+`
+	if _, err := Parse(bad); err == nil {
+		t.Error("pool member size mismatch accepted")
+	}
+}

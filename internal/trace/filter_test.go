@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func filterFixture(t *testing.T) []Record {
+	t.Helper()
+	_, recs, err := ParseAll(`START PID 1
+S 000601040 4 main GV g
+L 000601040 4 main GV g
+L 7ff000010 4 foo LV 0 1 i
+M 7ff000010 4 foo LV 0 1 i
+S 7ff000020 8 foo LS 0 1 arr[0]
+L 7ff000100 8 main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestFilterByFunc(t *testing.T) {
+	recs := filterFixture(t)
+	got := Filter(recs, ByFunc("foo"))
+	if len(got) != 3 {
+		t.Errorf("foo records = %d", len(got))
+	}
+}
+
+func TestFilterByVar(t *testing.T) {
+	recs := filterFixture(t)
+	if got := Filter(recs, ByVar("i")); len(got) != 2 {
+		t.Errorf("i records = %d", len(got))
+	}
+	if got := Filter(recs, ByVar("missing")); len(got) != 0 {
+		t.Errorf("missing records = %d", len(got))
+	}
+}
+
+func TestFilterByOp(t *testing.T) {
+	recs := filterFixture(t)
+	if got := Filter(recs, ByOp(Store)); len(got) != 2 {
+		t.Errorf("stores = %d", len(got))
+	}
+	if got := Filter(recs, ByOp(Store, Modify)); len(got) != 3 {
+		t.Errorf("stores+modifies = %d", len(got))
+	}
+}
+
+func TestFilterByAddrRange(t *testing.T) {
+	recs := filterFixture(t)
+	got := Filter(recs, ByAddrRange(0x7ff000000, 0x7ff000018))
+	if len(got) != 2 { // the two accesses to i at 0x7ff000010
+		t.Errorf("range records = %d", len(got))
+	}
+	// Overlap at the edge: an 8-byte access starting just below hi counts.
+	got = Filter(recs, ByAddrRange(0x7ff000024, 0x7ff000025))
+	if len(got) != 1 {
+		t.Errorf("overlap records = %d", len(got))
+	}
+}
+
+func TestFilterCombinators(t *testing.T) {
+	recs := filterFixture(t)
+	got := Filter(recs, And(ByFunc("foo"), ByOp(Modify)))
+	if len(got) != 1 {
+		t.Errorf("and = %d", len(got))
+	}
+	got = Filter(recs, Or(ByVar("g"), ByVar("i")))
+	if len(got) != 4 {
+		t.Errorf("or = %d", len(got))
+	}
+	got = Filter(recs, Not(Annotated()))
+	if len(got) != 1 {
+		t.Errorf("not annotated = %d", len(got))
+	}
+}
+
+func TestRootsAndFuncs(t *testing.T) {
+	recs := filterFixture(t)
+	roots := Roots(recs)
+	want := []string{"g", "i", "arr"}
+	if len(roots) != len(want) {
+		t.Fatalf("roots = %v", roots)
+	}
+	for i := range want {
+		if roots[i] != want[i] {
+			t.Errorf("roots[%d] = %s, want %s", i, roots[i], want[i])
+		}
+	}
+	fns := Funcs(recs)
+	if len(fns) != 2 || fns[0] != "main" || fns[1] != "foo" {
+		t.Errorf("funcs = %v", fns)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	recs := filterFixture(t)
+	// Blocks of 32: 0x601040 (1), 0x7ff000000 (i and arr share 0x7ff000000..1f?
+	// i at 0x10, arr at 0x20..0x27 → blocks 0x3ff800000 and +1), 0x7ff000100.
+	if got := Footprint(recs, 32); got != 4 {
+		t.Errorf("footprint = %d, want 4", got)
+	}
+	if got := Footprint(recs, 0); got == 0 {
+		t.Error("byte footprint = 0")
+	}
+	if Footprint(nil, 32) != 0 {
+		t.Error("empty footprint")
+	}
+}
+
+func TestWriteDinRoundTrip(t *testing.T) {
+	recs := filterFixture(t)
+	var buf strings.Builder
+	n, err := WriteDin(&buf, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 records, one M expands to 2, one L unannotated still counts: 7 lines.
+	if n != 7 {
+		t.Fatalf("din lines = %d, want 7\n%s", n, buf.String())
+	}
+	back, err := ReadDin(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 7 {
+		t.Fatalf("reimported = %d", len(back))
+	}
+	// Labels and addresses survive; metadata does not.
+	if back[0].Op != Store || back[0].Addr != 0x601040 || back[0].HasSym {
+		t.Errorf("first din record = %+v", back[0])
+	}
+	// The modify became read then write at the same address.
+	if back[3].Op != Load || back[4].Op != Store || back[3].Addr != back[4].Addr {
+		t.Errorf("modify expansion = %+v %+v", back[3], back[4])
+	}
+}
+
+func TestReadDinErrorsAndComments(t *testing.T) {
+	recs, err := ReadDin(strings.NewReader("# comment\n0 601040\n2 4000\n\n1 601044\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Op != Load || recs[1].Op != Misc || recs[2].Op != Store {
+		t.Errorf("recs = %+v", recs)
+	}
+	for _, bad := range []string{"5 100\n", "zz\n", "0 zz\n"} {
+		if _, err := ReadDin(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadDin(%q) accepted", bad)
+		}
+	}
+}

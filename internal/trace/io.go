@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Reader streams records from a Gleipnir trace file.
+type Reader struct {
+	sc         *bufio.Scanner
+	header     Header
+	gotHdr     bool
+	pending    string // non-header first line peeked while looking for START
+	hasPending bool
+	line       int
+	err        error
+}
+
+// NewReader returns a Reader over r. The header, if present, is consumed
+// lazily on the first Read/Header call. Lines are limited to 1 MiB.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Header returns the trace header. If the stream has no START line the
+// zero Header is returned and the first data line is preserved for Read.
+func (rd *Reader) Header() (Header, error) {
+	if err := rd.ensureHeader(); err != nil && err != io.EOF {
+		return rd.header, err
+	}
+	return rd.header, nil
+}
+
+func (rd *Reader) ensureHeader() error {
+	if rd.gotHdr {
+		return nil
+	}
+	rd.gotHdr = true
+	for rd.sc.Scan() {
+		rd.line++
+		text := strings.TrimSpace(rd.sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "START") {
+			h, err := ParseHeader(text)
+			if err != nil {
+				return err
+			}
+			rd.header = h
+			return nil
+		}
+		rd.pending = text
+		rd.hasPending = true
+		return nil
+	}
+	if err := rd.sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (rd *Reader) Read() (Record, error) {
+	if rd.err != nil {
+		return Record{}, rd.err
+	}
+	if err := rd.ensureHeader(); err != nil {
+		rd.err = err
+		return Record{}, err
+	}
+	if rd.hasPending {
+		rd.hasPending = false
+		rec, err := ParseRecord(rd.pending)
+		if err != nil {
+			rd.err = fmt.Errorf("line %d: %w", rd.line, err)
+			return Record{}, rd.err
+		}
+		return rec, nil
+	}
+	for rd.sc.Scan() {
+		rd.line++
+		text := strings.TrimSpace(rd.sc.Text())
+		if text == "" {
+			continue
+		}
+		rec, err := ParseRecord(text)
+		if err != nil {
+			rd.err = fmt.Errorf("line %d: %w", rd.line, err)
+			return Record{}, rd.err
+		}
+		return rec, nil
+	}
+	if err := rd.sc.Err(); err != nil {
+		rd.err = err
+	} else {
+		rd.err = io.EOF
+	}
+	return Record{}, rd.err
+}
+
+// ReadAll reads the remaining records into a slice.
+func (rd *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Writer streams records to a trace file in Gleipnir format.
+type Writer struct {
+	bw        *bufio.Writer
+	wroteHdr  bool
+	recsSoFar int
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// WriteHeader writes the START line; it must precede any record.
+func (wr *Writer) WriteHeader(h Header) error {
+	if wr.wroteHdr {
+		return fmt.Errorf("trace: header written twice")
+	}
+	if wr.recsSoFar > 0 {
+		return fmt.Errorf("trace: header after records")
+	}
+	wr.wroteHdr = true
+	_, err := fmt.Fprintln(wr.bw, h.String())
+	return err
+}
+
+// Write appends one record.
+func (wr *Writer) Write(r *Record) error {
+	wr.recsSoFar++
+	var b strings.Builder
+	r.appendTo(&b)
+	b.WriteByte('\n')
+	_, err := wr.bw.WriteString(b.String())
+	return err
+}
+
+// Flush flushes buffered output.
+func (wr *Writer) Flush() error { return wr.bw.Flush() }
+
+// Records written so far.
+func (wr *Writer) Records() int { return wr.recsSoFar }
+
+// ParseAll parses a whole trace held in a string, returning header and
+// records. Traces without a START line get a zero header.
+func ParseAll(src string) (Header, []Record, error) {
+	rd := NewReader(strings.NewReader(src))
+	h, err := rd.Header()
+	if err != nil && err != io.EOF {
+		return h, nil, err
+	}
+	recs, err := rd.ReadAll()
+	return h, recs, err
+}
+
+// Format renders a header and records as a trace file string.
+func Format(h Header, recs []Record) string {
+	var b strings.Builder
+	b.WriteString(h.String())
+	b.WriteByte('\n')
+	for i := range recs {
+		recs[i].appendTo(&b)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package tracer
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"tracedst/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestListing1Golden pins the exact trace of the paper's Listing 1 —
+// addresses, metadata, ordering, everything. Any change to evaluation
+// order, stack layout or annotation shows up as a diff here. Regenerate
+// deliberately with:
+//
+//	go test ./internal/tracer -run Golden -update
+func TestListing1Golden(t *testing.T) {
+	res := mustRun(t, workloads.Listing1, nil, Options{})
+	var got []byte
+	{
+		b := make([]byte, 0, 4096)
+		b = append(b, res.Header.String()...)
+		b = append(b, '\n')
+		for i := range res.Records {
+			b = append(b, res.Records[i].String()...)
+			b = append(b, '\n')
+		}
+		got = b
+	}
+	const path = "testdata/listing1.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("Listing 1 trace changed; run with -update if intentional.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

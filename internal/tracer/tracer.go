@@ -1,0 +1,168 @@
+// Package tracer is the Gleipnir equivalent: it listens to the miniC
+// interpreter's memory events and renders each one as an annotated trace
+// line, using the interpreter's symbol table the way Gleipnir uses
+// Valgrind's debug-information parser. The result is a trace.Header plus a
+// stream of trace.Records in exactly the format of the paper's listings.
+package tracer
+
+import (
+	"fmt"
+	"io"
+
+	"tracedst/internal/minic"
+	"tracedst/internal/symtab"
+	"tracedst/internal/trace"
+)
+
+// Options configure a trace collection.
+type Options struct {
+	// PID is written into the START header (a fixed fake pid keeps traces
+	// reproducible; Gleipnir writes the real one).
+	PID int
+	// Thread is the thread id recorded on local accesses. Gleipnir numbers
+	// threads from 1. Zero means 1.
+	Thread int
+	// TraceAll starts with instrumentation enabled, for programs that do
+	// not use the GLEIPNIR_*_INSTRUMENTATION markers.
+	TraceAll bool
+	// MaxRecords, when positive, stops collecting after that many records
+	// (later events count as Dropped) — a safety cap for long-running
+	// programs traced into memory.
+	MaxRecords int
+}
+
+// Tracer converts interpreter events to trace records. Create it, then the
+// interpreter with the tracer as its listener, then Attach the interpreter
+// so the tracer can consult its symbol table.
+type Tracer struct {
+	opts    Options
+	interp  *minic.Interp
+	enabled bool
+
+	// Records accumulates the trace in memory.
+	Records []trace.Record
+	// Dropped counts events suppressed while instrumentation was off.
+	Dropped int
+}
+
+var _ minic.Listener = (*Tracer)(nil)
+
+// New returns a Tracer with the given options.
+func New(opts Options) *Tracer {
+	if opts.Thread == 0 {
+		opts.Thread = 1
+	}
+	if opts.PID == 0 {
+		opts.PID = 13063 // the paper's listing 2 pid; any fixed value works
+	}
+	return &Tracer{opts: opts, enabled: opts.TraceAll}
+}
+
+// Attach binds the tracer to the interpreter whose events it receives.
+func (t *Tracer) Attach(in *minic.Interp) { t.interp = in }
+
+// Header returns the trace file header.
+func (t *Tracer) Header() trace.Header { return trace.Header{PID: t.opts.PID} }
+
+// Instrument implements minic.Listener.
+func (t *Tracer) Instrument(on bool) { t.enabled = on }
+
+// Access implements minic.Listener: it annotates the raw event with debug
+// information and appends a trace record.
+func (t *Tracer) Access(op minic.AccessOp, addr uint64, size int64, fn string, depth int) {
+	if !t.enabled {
+		t.Dropped++
+		return
+	}
+	if t.opts.MaxRecords > 0 && len(t.Records) >= t.opts.MaxRecords {
+		t.Dropped++
+		return
+	}
+	rec := trace.Record{
+		Op:   trace.Op(op),
+		Addr: addr,
+		Size: size,
+		Func: fn,
+	}
+	if t.interp != nil {
+		if ref, ok := t.interp.Syms.Describe(addr, depth); ok && !hideSymbol(op, ref) {
+			rec.HasSym = true
+			rec.Aggregate = ref.Aggregate
+			rec.Var = ref.Expr
+			switch ref.Sym.Kind {
+			case symtab.KindLocal:
+				rec.Vis = trace.Local
+				rec.Frame = ref.FrameDistance
+				rec.Thread = t.opts.Thread
+			default:
+				// Globals and heap blocks are globally visible: no frame or
+				// thread column ("there is no need to identify the frame of
+				// the corresponding variable").
+				rec.Vis = trace.Global
+			}
+		}
+	}
+	t.Records = append(t.Records, rec)
+}
+
+// hideSymbol reproduces a Gleipnir quirk: the read-back of the Valgrind
+// client-request result has no debug info, so the load that follows the
+// "_zzq_result" store is printed unannotated (paper listing 2 line 3).
+func hideSymbol(op minic.AccessOp, ref symtab.Ref) bool {
+	return op == minic.OpLoad && ref.Sym.Name == "_zzq_result"
+}
+
+// WriteTo writes the collected trace in Gleipnir format.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	tw := trace.NewWriter(w)
+	if err := tw.WriteHeader(t.Header()); err != nil {
+		return 0, err
+	}
+	for i := range t.Records {
+		if err := tw.Write(&t.Records[i]); err != nil {
+			return 0, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(tw.Records()), nil
+}
+
+// Result bundles everything a trace collection produces.
+type Result struct {
+	Header  trace.Header
+	Records []trace.Record
+	// Interp is the finished interpreter; its symbol table still holds the
+	// globals (frames are gone) and its address space the final memory.
+	Interp *minic.Interp
+	// Return is main's return value.
+	Return int64
+}
+
+// Run parses and executes a miniC program, collecting its Gleipnir trace.
+// defines are -D style macro definitions (e.g. {"LEN": "16"}).
+func Run(src string, defines map[string]string, opts Options) (*Result, error) {
+	prog, err := minic.Parse(src, defines)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, opts)
+}
+
+// RunProgram executes an already-parsed program, collecting its trace.
+func RunProgram(prog *minic.Program, opts Options) (*Result, error) {
+	t := New(opts)
+	in := minic.NewInterp(prog, t)
+	t.Attach(in)
+	ret, err := in.Run()
+	if err != nil {
+		return nil, fmt.Errorf("tracer: %w", err)
+	}
+	return &Result{
+		Header:  t.Header(),
+		Records: t.Records,
+		Interp:  in,
+		Return:  ret,
+	}, nil
+}

@@ -1,0 +1,501 @@
+// Package workloads holds the miniC source of every program the paper
+// traces (Listings 1, 3/4, 6/7, 9/10), the transformation rule files of
+// Listings 5, 8 and 11, and a handful of larger kernels used by the
+// examples and benchmarks. Identifiers follow the paper, with the leading
+// "l" (ell) of local names restored where the PDF rendered it as the digit
+// one (lSoA, lAoS, lI, …).
+package workloads
+
+import "fmt"
+
+// Listing1 is the paper's Listing 1: static and global data structures
+// exercised by main and foo. Its trace is the paper's Listing 2.
+const Listing1 = `
+struct _typeA {
+	double d1;
+	int myArray[10];
+};
+struct _typeA glStruct;
+struct _typeA glStructArray[10];
+
+int glScalar;
+int glArray[10];
+
+void foo(struct _typeA StrcParam[])
+{
+	int i;
+	for (i=0; i<2; i++){
+		glStructArray[i].d1 = glScalar;
+		glStructArray[i].myArray[i] = glArray[i+1];
+		StrcParam[i].d1 = glArray[i];
+	}
+	return;
+}
+
+int main(void)
+{
+	GLEIPNIR_START_INSTRUMENTATION;
+
+	struct _typeA lcStrcArray[5];
+	int i, lcScalar, lcArray[10];
+
+	glScalar = 321;
+	lcScalar = 123;
+
+	for (i=0; i<2; i++)
+		lcArray[i] = glScalar;
+
+	foo(lcStrcArray);
+
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Trans1SoA is the structure-of-arrays program (the paper's "Transformation
+// 1B" source, Listing 4) — the original layout whose trace is transformed.
+// LEN is a macro parameter.
+const Trans1SoA = `
+int main(int aArgc, char **aArgv) {
+	typedef struct {
+		int mX[LEN];
+		double mY[LEN];
+	} MyStructOfArrays;
+	MyStructOfArrays lSoA;
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lSoA.mX[lI] = (int) lI;
+		lSoA.mY[lI] = (double) lI;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Trans1AoS is the hand-transformed array-of-structures program (the
+// paper's "Transformation 1A" source, Listing 3) that the automatic trace
+// transformation must emulate.
+const Trans1AoS = `
+int main(int aArgc, char **aArgv) {
+	typedef struct { int mX; double mY; } MyStruct;
+	MyStruct lAoS[LEN];
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lAoS[lI].mX = (int) lI;
+		lAoS[lI].mY = (double) lI;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Trans2Inline is Listing 6: a structure with a frequently used scalar and
+// a rarely used nested structure, stored inline.
+const Trans2Inline = `
+int main(int aArgc, char **aArgv) {
+	typedef struct {
+		int mFrequentlyUsed;
+		struct { double mY; int mZ; } mRarelyUsed;
+	} MyInlineStruct;
+
+	MyInlineStruct lS1[LEN];
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lS1[lI].mFrequentlyUsed = lI;
+		lS1[lI].mRarelyUsed.mY = lI;
+		lS1[lI].mRarelyUsed.mZ = lI;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Trans2Outlined is Listing 7: the hand-transformed version where the
+// rarely used structure lives in an external pool reached via a pointer.
+const Trans2Outlined = `
+typedef struct { double mY; int mZ; } RarelyUsed;
+typedef struct {
+	int mFrequentlyUsed;
+	RarelyUsed *mRarelyUsed;
+} MyOutlinedStruct;
+
+int main(int aArgc, char **aArgv) {
+	RarelyUsed lStorageForRarelyUsed[LEN];
+	MyOutlinedStruct lS2[LEN];
+
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lS2[lI].mRarelyUsed = lStorageForRarelyUsed+lI;
+	}
+
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lS2[lI].mFrequentlyUsed = lI;
+		lS2[lI].mRarelyUsed->mY = lI;
+		lS2[lI].mRarelyUsed->mZ = lI;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Trans2HotLoop touches only the frequently used member of every element —
+// the access pattern hot/cold splitting is designed for (the paper's "goal
+// of this transformation is to keep the rarely used structure in an outside
+// pool of memory and collocate frequently used elements").
+const Trans2HotLoop = `
+int main(int aArgc, char **aArgv) {
+	typedef struct {
+		int mFrequentlyUsed;
+		struct { double mY; int mZ; } mRarelyUsed;
+	} MyInlineStruct;
+
+	MyInlineStruct lS1[LEN];
+	int sum;
+	GLEIPNIR_START_INSTRUMENTATION;
+	sum = 0;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		sum += lS1[lI].mFrequentlyUsed;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return sum;
+}
+`
+
+// Trans3Contiguous is Listing 9: a plain contiguous array sweep.
+const Trans3Contiguous = `
+int main(int aArgc, char **aArgv) {
+	int lContiguousArray[LEN];
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lContiguousArray[lI] = lI;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Trans3Strided is Listing 10: the hand-transformed set-pinning version.
+// The stride formula maps every element onto the cache lines of a single
+// set (for a 32 KB, 32 B-block cache with 16 sets modelled per column).
+const Trans3Strided = `
+#define SETS 16
+#define CACHELINE 32
+int main(int aArgc, char **aArgv) {
+	const int ITEMSPERLINE = CACHELINE/sizeof(int);
+	int lSetHashingArray[LEN*SETS];
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int lI=0 ; lI<LEN ; lI++) {
+		lSetHashingArray[(lI/ITEMSPERLINE)%(SETS*ITEMSPERLINE)+(lI%ITEMSPERLINE)] = lI;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// RuleTrans1 is Listing 5: the SoA→AoS rule. Element names must match
+// between the in and out structures; the root variable is renamed.
+const RuleTrans1 = `
+in:
+struct lSoA {
+	int mX[16];
+	double mY[16];
+};
+out:
+struct lAoS {
+	int mX;
+	double mY;
+}[16];
+`
+
+// RuleTrans2 is Listing 8: nested structure to structure-with-indirection.
+// The in rule is written bottom-up (deepest structure first); the out rule
+// declares the external pool and a pointer member tying them together.
+const RuleTrans2 = `
+in:
+struct mRarelyUsed {
+	double mY;
+	int mZ;
+};
+struct lS1 {
+	int mFrequentlyUsed;
+	struct mRarelyUsed;
+}[16];
+
+out:
+struct lStorageForRarelyUsed {
+	double mY;
+	int mZ;
+}[16];
+struct lS2 {
+	int mFrequentlyUsed;
+	* mRarelyUsed:lStorageForRarelyUsed;
+}[16];
+`
+
+// RuleTrans3 is Listing 11: array striding for cache-set pinning. The out
+// declaration carries the stride formula over the original element index lI;
+// the inject clause lists the scalar loads the stride arithmetic performs
+// (the paper hand-forces these: "we have hand forced the simulator to
+// inject additional instructions").
+const RuleTrans3 = `
+in:
+int lContiguousArray[1024]:lSetHashingArray;
+out:
+int lSetHashingArray[16384 ((lI/8)*(16*8)+(lI%8))];
+inject:
+L ITEMSPERLINE;
+L ITEMSPERLINE;
+L lI;
+L ITEMSPERLINE;
+`
+
+// MatMul is a realistic kernel: naive square matrix multiply over global
+// arrays, parameterised by N.
+const MatMul = `
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+int main(void) {
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int i=0; i<N; i++) {
+		for (int j=0; j<N; j++) {
+			double s;
+			s = 0.0;
+			for (int k=0; k<N; k++) {
+				s = s + A[i][k] * B[k][j];
+			}
+			C[i][j] = s;
+		}
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// ListTraversal builds a linked list in a heap pool and walks it — the
+// dynamic-structure case the paper lists as future work, exercised through
+// the interpreter's malloc support.
+const ListTraversal = `
+struct node { int value; struct node *next; };
+
+int main(void) {
+	struct node *pool;
+	struct node *head;
+	struct node *p;
+	int i, sum;
+
+	pool = malloc(N * sizeof(struct node));
+	head = pool;
+	for (i=0; i<N; i++) {
+		pool[i].value = i;
+		if (i < N-1) pool[i].next = pool + (i+1);
+		else pool[i].next = pool;  // sentinel: points at head
+	}
+
+	GLEIPNIR_START_INSTRUMENTATION;
+	sum = 0;
+	p = head;
+	for (i=0; i<N; i++) {
+		sum += p->value;
+		p = p->next;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	free(pool);
+	return sum;
+}
+`
+
+// Stencil is a 1-D three-point stencil over a global array.
+const Stencil = `
+double src[N];
+double dst[N];
+
+int main(void) {
+	for (int i=0; i<N; i++) src[i] = (double) i;
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int i=1; i<N-1; i++) {
+		dst[i] = (src[i-1] + src[i] + src[i+1]) / 3.0;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// ParticlesAoS is a particle-update kernel over an array of structures —
+// the motivating layout question of the paper's introduction at a more
+// realistic scale. Only the position fields are touched, so half of every
+// cache line holding a particle is wasted.
+const ParticlesAoS = `
+typedef struct { double x; double y; double vx; double vy; } Particle;
+Particle particles[N];
+
+int main(void) {
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int i=0; i<N; i++) {
+		particles[i].x = particles[i].x + 1.0;
+		particles[i].y = particles[i].y + 1.0;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// ParticlesSoA is the structure-of-arrays variant of ParticlesAoS.
+const ParticlesSoA = `
+typedef struct {
+	double x[N];
+	double y[N];
+	double vx[N];
+	double vy[N];
+} Particles;
+Particles particles;
+
+int main(void) {
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int i=0; i<N; i++) {
+		particles.x[i] = particles.x[i] + 1.0;
+		particles.y[i] = particles.y[i] + 1.0;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+// Histogram builds a histogram with indirect writes hist[data[i]]++ — the
+// data-dependent access pattern that defeats static layout analysis and
+// motivates trace-driven study.
+const Histogram = `
+int data[N];
+int hist[BINS];
+
+int main(void) {
+	for (int i = 0; i < N; i++) {
+		data[i] = (i * 7919) % BINS;
+	}
+	GLEIPNIR_START_INSTRUMENTATION;
+	for (int i = 0; i < N; i++) {
+		hist[data[i]]++;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return hist[0];
+}
+`
+
+// BinSearch performs repeated binary searches over a sorted global array —
+// a branchy, log-depth access pattern.
+const BinSearch = `
+int keys[N];
+
+int find(int want) {
+	int lo, hi;
+	lo = 0;
+	hi = N - 1;
+	while (lo <= hi) {
+		int mid;
+		mid = (lo + hi) / 2;
+		if (keys[mid] == want) return mid;
+		if (keys[mid] < want) lo = mid + 1;
+		else hi = mid - 1;
+	}
+	return -1;
+}
+
+int main(void) {
+	int found;
+	for (int i = 0; i < N; i++) keys[i] = i * 2;
+	GLEIPNIR_START_INSTRUMENTATION;
+	found = 0;
+	for (int q = 0; q < 64; q++) {
+		if (find((q * 13) % (N * 2)) >= 0) found++;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return found;
+}
+`
+
+// Named lists every built-in workload for the CLI tools.
+var Named = map[string]struct {
+	Source string
+	// Defines are the default macro parameters.
+	Defines map[string]string
+	About   string
+}{
+	"listing1":    {Listing1, nil, "paper Listing 1: static/global structs (trace = Listing 2)"},
+	"trans1-soa":  {Trans1SoA, map[string]string{"LEN": "16"}, "paper Listing 4: structure of arrays (original of T1)"},
+	"trans1-aos":  {Trans1AoS, map[string]string{"LEN": "16"}, "paper Listing 3: array of structures (hand-transformed T1)"},
+	"trans2-in":   {Trans2Inline, map[string]string{"LEN": "16"}, "paper Listing 6: inline nested struct (original of T2)"},
+	"trans2-out":  {Trans2Outlined, map[string]string{"LEN": "16"}, "paper Listing 7: outlined struct via pointer (hand-transformed T2)"},
+	"trans3-cont": {Trans3Contiguous, map[string]string{"LEN": "1024"}, "paper Listing 9: contiguous array sweep (original of T3)"},
+	"trans3-strd": {Trans3Strided, map[string]string{"LEN": "1024"}, "paper Listing 10: set-pinned strided array (hand-transformed T3)"},
+	"matmul":      {MatMul, map[string]string{"N": "24"}, "naive square matrix multiply"},
+	"list":        {ListTraversal, map[string]string{"N": "256"}, "heap linked-list traversal (dynamic structures)"},
+	"stencil":     {Stencil, map[string]string{"N": "1024"}, "1-D three-point stencil"},
+	"particles-aos": {ParticlesAoS, map[string]string{"N": "256"},
+		"particle update, array-of-structures layout"},
+	"particles-soa": {ParticlesSoA, map[string]string{"N": "256"},
+		"particle update, structure-of-arrays layout"},
+	"trans2-hot": {Trans2HotLoop, map[string]string{"LEN": "128"},
+		"hot-member-only loop over the T2 structure"},
+	"histogram": {Histogram, map[string]string{"N": "1024", "BINS": "64"},
+		"indirect writes hist[data[i]]++"},
+	"binsearch": {BinSearch, map[string]string{"N": "512"},
+		"repeated binary searches over a sorted array"},
+}
+
+// RuleTrans3ForLen renders the T3 rule for a given original array length
+// and cache geometry (sets × itemsPerLine elements per way window).
+func RuleTrans3ForLen(l, sets, itemsPerLine int) string {
+	return fmt.Sprintf(`
+in:
+int lContiguousArray[%d]:lSetHashingArray;
+out:
+int lSetHashingArray[%d ((lI/%d)*(%d*%d)+(lI%%%d))];
+inject:
+L ITEMSPERLINE;
+L ITEMSPERLINE;
+L lI;
+L ITEMSPERLINE;
+`, l, l*sets, itemsPerLine, sets, itemsPerLine, itemsPerLine)
+}
+
+// RuleTrans1ForLen renders the T1 rule for a given LEN.
+func RuleTrans1ForLen(l int) string {
+	return fmt.Sprintf(`
+in:
+struct lSoA {
+	int mX[%d];
+	double mY[%d];
+};
+out:
+struct lAoS {
+	int mX;
+	double mY;
+}[%d];
+`, l, l, l)
+}
+
+// RuleTrans2ForLen renders the T2 rule for a given LEN.
+func RuleTrans2ForLen(l int) string {
+	return fmt.Sprintf(`
+in:
+struct mRarelyUsed {
+	double mY;
+	int mZ;
+};
+struct lS1 {
+	int mFrequentlyUsed;
+	struct mRarelyUsed;
+}[%d];
+
+out:
+struct lStorageForRarelyUsed {
+	double mY;
+	int mZ;
+}[%d];
+struct lS2 {
+	int mFrequentlyUsed;
+	* mRarelyUsed:lStorageForRarelyUsed;
+}[%d];
+`, l, l, l)
+}

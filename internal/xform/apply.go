@@ -1,0 +1,272 @@
+package xform
+
+import (
+	"tracedst/internal/ctype"
+	"tracedst/internal/rules"
+	"tracedst/internal/trace"
+)
+
+// applyRemap rewrites one SoA↔AoS record: the access is decomposed into a
+// (member, element-index) pair and re-resolved against the out layout.
+func (e *Engine) applyRemap(st *ruleState, r *rules.StructRemapRule, rec *trace.Record) ([]trace.Record, error) {
+	field, flat, ok := splitAccess(r.InType, rec.Var.Path)
+	if !ok {
+		return nil, nil
+	}
+	outPath, ok := buildAccess(r.OutType, field, flat)
+	if !ok {
+		return nil, nil
+	}
+	if err := e.establish(st, rec, r.InType); err != nil {
+		return nil, err
+	}
+	off, elem, err := ctype.Resolve(r.OutType, outPath)
+	if err != nil {
+		return nil, nil // out of range for the out shape: ignore
+	}
+	out := *rec
+	out.Addr = st.bases[r.OutVar] + uint64(off)
+	out.Size = elem.Size()
+	out.Var = ctype.AccessExpr{Root: r.OutVar, Path: outPath}
+	out.Aggregate = true
+	var recs []trace.Record
+	if err := e.appendInjects(&out, r.Inject(), &recs); err != nil {
+		return nil, err
+	}
+	return append(recs, out), nil
+}
+
+// splitAccess decomposes a conforming access path into (member name, flat
+// element index). Conforming paths are [idx]·field(·idx) with at most one
+// varying dimension on each level.
+func splitAccess(t ctype.Type, path ctype.Path) (string, int64, bool) {
+	var outer int64
+	st, isStruct := t.(*ctype.Struct)
+	if arr, ok := t.(*ctype.Array); ok {
+		if len(path) == 0 || !path[0].IsIndex() {
+			return "", 0, false
+		}
+		outer = path[0].Index
+		path = path[1:]
+		st, isStruct = arr.Elem.(*ctype.Struct)
+	}
+	if !isStruct || len(path) == 0 || path[0].IsIndex() {
+		return "", 0, false
+	}
+	fieldName := path[0].Field
+	f, ok := st.FieldByName(fieldName)
+	if !ok {
+		return "", 0, false
+	}
+	path = path[1:]
+	var inner, innerLen int64 = 0, 1
+	if fa, ok := f.Type.(*ctype.Array); ok {
+		if len(path) != 1 || !path[0].IsIndex() {
+			return "", 0, false
+		}
+		inner = path[0].Index
+		innerLen = fa.Len
+		path = nil
+	}
+	if len(path) != 0 {
+		return "", 0, false
+	}
+	return fieldName, outer*innerLen + inner, true
+}
+
+// buildAccess is the inverse of splitAccess for the out layout.
+func buildAccess(t ctype.Type, field string, flat int64) (ctype.Path, bool) {
+	var p ctype.Path
+	st, isStruct := t.(*ctype.Struct)
+	isArray := false
+	if arr, ok := t.(*ctype.Array); ok {
+		isArray = true
+		st, isStruct = arr.Elem.(*ctype.Struct)
+	}
+	if !isStruct {
+		return nil, false
+	}
+	f, ok := st.FieldByName(field)
+	if !ok {
+		return nil, false
+	}
+	var innerLen int64 = 1
+	_, fieldIsArray := f.Type.(*ctype.Array)
+	if fa, ok := f.Type.(*ctype.Array); ok {
+		innerLen = fa.Len
+	}
+	if isArray {
+		p = append(p, ctype.PathElem{Index: flat / innerLen})
+	} else if flat >= innerLen {
+		return nil, false
+	}
+	p = append(p, ctype.PathElem{Field: field})
+	if fieldIsArray {
+		p = append(p, ctype.PathElem{Index: flat % innerLen})
+	} else if flat%innerLen != 0 {
+		return nil, false
+	}
+	return p, true
+}
+
+// applyOutline rewrites one record of the nested→indirect transformation.
+// Accesses to the nested member become a pointer load on the out structure
+// followed by the access in the external pool; other members are remapped
+// onto the out structure.
+func (e *Engine) applyOutline(st *ruleState, r *rules.OutlineRule, rec *trace.Record) ([]trace.Record, error) {
+	path := rec.Var.Path
+	if len(path) < 2 || !path[0].IsIndex() || path[1].IsIndex() {
+		return nil, nil
+	}
+	idx := path[0].Index
+	field := path[1].Field
+	if err := e.establish(st, rec, r.InType); err != nil {
+		return nil, err
+	}
+	outStruct := r.OutType.Elem.(*ctype.Struct)
+
+	if field != r.NestedField {
+		// Plain member: remap onto the out structure.
+		outPath := append(ctype.Path{{Index: idx}}, path[1:]...)
+		off, elem, err := ctype.Resolve(r.OutType, outPath)
+		if err != nil {
+			return nil, nil
+		}
+		out := *rec
+		out.Addr = st.bases[r.OutVar] + uint64(off)
+		out.Size = elem.Size()
+		out.Var = ctype.AccessExpr{Root: r.OutVar, Path: outPath}
+		out.Aggregate = true
+		return []trace.Record{out}, nil
+	}
+
+	// Nested member: lS1[i].mRarelyUsed.g → load lS2[i].mRarelyUsed (the
+	// pointer), then access lStorage[i].g. "The transformed trace must
+	// reflect this transformation because the new trace should reflect any
+	// additional memory accesses which result from transforming structures."
+	ptrField, _ := outStruct.FieldByName(r.NestedField)
+	ptrPath := ctype.Path{{Index: idx}, {Field: r.NestedField}}
+	ptrOff, _, err := ctype.Resolve(r.OutType, ptrPath)
+	if err != nil {
+		return nil, nil
+	}
+	load := *rec
+	load.Op = trace.Load
+	load.Addr = st.bases[r.OutVar] + uint64(ptrOff)
+	load.Size = ptrField.Type.Size()
+	load.Var = ctype.AccessExpr{Root: r.OutVar, Path: ptrPath}
+	load.Aggregate = true
+
+	poolPath := append(ctype.Path{{Index: idx}}, path[2:]...)
+	poolOff, elem, err := ctype.Resolve(r.PoolType, poolPath)
+	if err != nil {
+		return nil, nil
+	}
+	out := *rec
+	out.Addr = st.bases[r.PoolVar] + uint64(poolOff)
+	out.Size = elem.Size()
+	out.Var = ctype.AccessExpr{Root: r.PoolVar, Path: poolPath}
+	out.Aggregate = true
+	return []trace.Record{load, out}, nil
+}
+
+// applyStride rewrites one array access through the index formula and
+// prepends the injected arithmetic accesses.
+func (e *Engine) applyStride(st *ruleState, r *rules.StrideRule, rec *trace.Record) ([]trace.Record, error) {
+	path := rec.Var.Path
+	if len(path) != 1 || !path[0].IsIndex() {
+		return nil, nil
+	}
+	i := path[0].Index
+	if i < 0 || i >= r.InLen {
+		return nil, nil
+	}
+	inType := ctype.NewArray(r.Elem, r.InLen)
+	if err := e.establish(st, rec, inType); err != nil {
+		return nil, err
+	}
+	j, err := r.Formula.Eval(i)
+	if err != nil {
+		return nil, err
+	}
+	out := *rec
+	out.Addr = st.bases[r.OutVar] + uint64(j*r.Elem.Size())
+	out.Size = r.Elem.Size()
+	out.Var = ctype.AccessExpr{Root: r.OutVar, Path: ctype.Path{{Index: j}}}
+	out.Aggregate = true
+
+	var recs []trace.Record
+	if err := e.appendInjects(&out, r.Inject(), &recs); err != nil {
+		return nil, err
+	}
+	return append(recs, out), nil
+}
+
+// applyPeel rewrites one record of the structure-peeling transformation:
+// lRec[i].f moves to the group array holding member f, preserving the
+// element index.
+func (e *Engine) applyPeel(st *ruleState, r *rules.PeelRule, rec *trace.Record) ([]trace.Record, error) {
+	path := rec.Var.Path
+	if len(path) < 2 || !path[0].IsIndex() || path[1].IsIndex() {
+		return nil, nil
+	}
+	gi, ok := r.ByField[path[1].Field]
+	if !ok {
+		return nil, nil
+	}
+	if err := e.establish(st, rec, r.InType); err != nil {
+		return nil, err
+	}
+	group := r.Groups[gi]
+	outPath := append(ctype.Path{{Index: path[0].Index}}, path[1:]...)
+	off, elem, err := ctype.Resolve(group.Type, outPath)
+	if err != nil {
+		return nil, nil
+	}
+	out := *rec
+	out.Addr = st.bases[group.Var] + uint64(off)
+	out.Size = elem.Size()
+	out.Var = ctype.AccessExpr{Root: group.Var, Path: outPath}
+	out.Aggregate = true
+	return []trace.Record{out}, nil
+}
+
+// appendInjects materialises the rule's inject list as records placed
+// before the transformed access. Variables seen in the trace reuse their
+// real addresses; unseen ones (stride temporaries like ITEMSPERLINE) get
+// stable synthetic stack slots.
+func (e *Engine) appendInjects(model *trace.Record, injs []rules.InjectAccess, dst *[]trace.Record) error {
+	if len(injs) == 0 || dst == nil {
+		return nil
+	}
+	for _, inj := range injs {
+		var rec trace.Record
+		if prev, ok := e.lastScalar[inj.Var]; ok {
+			rec = prev
+			rec.Func = model.Func
+		} else {
+			addr, ok := e.synthAddr[inj.Var]
+			if !ok {
+				addr = e.synthNext
+				e.synthNext += 16
+				e.synthAddr[inj.Var] = addr
+			}
+			rec = trace.Record{
+				Func:   model.Func,
+				HasSym: true,
+				Vis:    trace.Local,
+				Frame:  0,
+				Thread: model.Thread,
+				Var:    ctype.AccessExpr{Root: inj.Var},
+			}
+			if rec.Thread == 0 {
+				rec.Thread = 1
+			}
+			rec.Addr = addr
+		}
+		rec.Op = trace.Op(inj.Op)
+		rec.Size = inj.Size
+		*dst = append(*dst, rec)
+	}
+	return nil
+}

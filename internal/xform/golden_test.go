@@ -1,0 +1,49 @@
+package xform
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"tracedst/internal/trace"
+	"tracedst/internal/tracer"
+	"tracedst/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTrans1TransformedGolden pins the byte-exact transformed trace of the
+// paper's transformation 1 (the right column of Figure 5): any change to
+// base-address assignment, path mapping or record formatting shows up as a
+// diff. Regenerate deliberately with:
+//
+//	go test ./internal/xform -run Golden -update
+func TestTrans1TransformedGolden(t *testing.T) {
+	res, err := tracer.Run(workloads.Trans1SoA, map[string]string{"LEN": "16"}, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mustEngine(t, mustRule(t, workloads.RuleTrans1))
+	out, err := eng.TransformAll(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Format(res.Header, out)
+	const path = "testdata/trans1_transformed.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transformed trace changed; run with -update if intentional.\n got:\n%s", got)
+	}
+}

@@ -1,0 +1,325 @@
+// Package xform is the paper's trace-transformation module: a streaming
+// rewriter that applies rule-based data-structure transformations to a
+// Gleipnir trace during simulation, without touching the traced program.
+//
+// Processing follows §IV.A of the paper:
+//
+//  1. Initialise the rules — each rule's out structures get a new base
+//     address and size.
+//  2. Check validity — each trace line's metadata variable is parsed into a
+//     nested access path; lines whose root variable and nesting match an in
+//     rule are transformed, everything else passes through unchanged
+//     ("the simulator will simply ignore it").
+//  3. Apply the transformation — the in path is mapped to the out rule and
+//     a new address computed; pointer indirection inserts an extra load,
+//     stride rules insert the hand-selected index-arithmetic accesses.
+//  4. Print the transformation — the rewritten stream can be written to a
+//     transformed_trace.out file and diffed against the original.
+package xform
+
+import (
+	"fmt"
+	"io"
+
+	"tracedst/internal/ctype"
+	"tracedst/internal/memmodel"
+	"tracedst/internal/rules"
+	"tracedst/internal/trace"
+)
+
+// Options tune the engine.
+type Options struct {
+	// ShadowAlign forces the alignment of relocated out structures. Zero
+	// selects automatically: the out type's natural alignment, or for
+	// stride rules the power of two covering the formula's largest jump
+	// (so that pinned windows stay within one cache set).
+	ShadowAlign int64
+}
+
+// Stats counts what the engine did.
+type Stats struct {
+	// Total records seen.
+	Total int64
+	// Matched records rewritten by a rule.
+	Matched int64
+	// Passed records forwarded unchanged.
+	Passed int64
+	// Inserted extra records (indirection loads, injected arithmetic).
+	Inserted int64
+}
+
+// Engine applies one or more rules to a record stream. Rules match on
+// distinct root variables; the first matching rule wins.
+type Engine struct {
+	opts   Options
+	states []*ruleState
+	byRoot map[string]*ruleState
+
+	// lastScalar remembers the most recent annotated scalar record per
+	// root variable, so injected accesses can reuse real addresses.
+	lastScalar map[string]trace.Record
+	// synth hands out addresses for injected variables that never appear
+	// in the original trace (e.g. ITEMSPERLINE).
+	synthNext uint64
+	synthAddr map[string]uint64
+
+	stats Stats
+}
+
+// ruleState is the per-rule address bookkeeping.
+type ruleState struct {
+	rule rules.Rule
+	// inBase is established from the first matching record.
+	inBase uint64
+	haveIn bool
+	// bases maps out variable name → base address.
+	bases map[string]uint64
+}
+
+// New builds an engine over the given rules.
+func New(opts Options, rs ...rules.Rule) (*Engine, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("xform: no rules given")
+	}
+	e := &Engine{
+		opts:       opts,
+		byRoot:     map[string]*ruleState{},
+		lastScalar: map[string]trace.Record{},
+		synthNext:  memmodel.StackTop + 16,
+		synthAddr:  map[string]uint64{},
+	}
+	for _, r := range rs {
+		if _, dup := e.byRoot[r.InRoot()]; dup {
+			return nil, fmt.Errorf("xform: two rules for root %q", r.InRoot())
+		}
+		st := &ruleState{rule: r, bases: map[string]uint64{}}
+		e.states = append(e.states, st)
+		e.byRoot[r.InRoot()] = st
+	}
+	return e, nil
+}
+
+// Stats returns the counters so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// OutBase reports the base address assigned to an out variable (valid once
+// a record matched the rule).
+func (e *Engine) OutBase(name string) (uint64, bool) {
+	for _, st := range e.states {
+		if a, ok := st.bases[name]; ok {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Transform rewrites one record. It returns the record(s) to emit in order:
+// the unchanged record, or the rewritten record preceded by any inserted
+// accesses.
+func (e *Engine) Transform(rec *trace.Record) ([]trace.Record, error) {
+	e.stats.Total++
+	// Track scalar addresses for inject resolution.
+	if rec.HasSym && len(rec.Var.Path) == 0 {
+		e.lastScalar[rec.Var.Root] = *rec
+	}
+	if !rec.HasSym {
+		e.stats.Passed++
+		return []trace.Record{*rec}, nil
+	}
+	st, ok := e.byRoot[rec.Var.Root]
+	if !ok {
+		e.stats.Passed++
+		return []trace.Record{*rec}, nil
+	}
+	out, err := e.apply(st, rec)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		// Non-conforming nesting: ignore (pass through).
+		e.stats.Passed++
+		return []trace.Record{*rec}, nil
+	}
+	e.stats.Matched++
+	if n := len(out) - 1; n > 0 {
+		e.stats.Inserted += int64(n)
+	}
+	return out, nil
+}
+
+// TransformAll rewrites a whole record slice.
+func (e *Engine) TransformAll(recs []trace.Record) ([]trace.Record, error) {
+	out := make([]trace.Record, 0, len(recs)+len(recs)/4)
+	for i := range recs {
+		rs, err := e.Transform(&recs[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// Run streams records from rd to wr, transforming as it goes — the paper's
+// trace-file → transformed_trace.out pipeline.
+func (e *Engine) Run(rd *trace.Reader, wr *trace.Writer) error {
+	h, err := rd.Header()
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if err := wr.WriteHeader(h); err != nil {
+		return err
+	}
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return wr.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		out, err := e.Transform(&rec)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			if err := wr.Write(&out[i]); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// apply dispatches on the rule kind. A nil, nil return means "does not
+// conform — pass through".
+func (e *Engine) apply(st *ruleState, rec *trace.Record) ([]trace.Record, error) {
+	switch r := st.rule.(type) {
+	case *rules.StructRemapRule:
+		return e.applyRemap(st, r, rec)
+	case *rules.OutlineRule:
+		return e.applyOutline(st, r, rec)
+	case *rules.StrideRule:
+		return e.applyStride(st, r, rec)
+	case *rules.PeelRule:
+		return e.applyPeel(st, r, rec)
+	}
+	return nil, fmt.Errorf("xform: unknown rule type %T", st.rule)
+}
+
+// establish computes the in base address from the first conforming record
+// and assigns out bases.
+func (e *Engine) establish(st *ruleState, rec *trace.Record, inType ctype.Type) error {
+	if st.haveIn {
+		return nil
+	}
+	off, _, err := ctype.Resolve(inType, rec.Var.Path)
+	if err != nil {
+		return fmt.Errorf("xform: cannot anchor %s: %v", rec.Var, err)
+	}
+	st.inBase = rec.Addr - uint64(off)
+	st.haveIn = true
+	return e.assignBases(st)
+}
+
+// assignBases places each out structure: the primary replaces the in
+// structure at its (re-aligned) base, auxiliaries (the outline pool) go
+// below it on the stack or above it in the data segment ("the simulator
+// will read the in and out rules and set up a new base address and size for
+// the new structure").
+func (e *Engine) assignBases(st *ruleState) error {
+	onStack := memmodel.RegionOf(st.inBase) == "stack"
+	switch r := st.rule.(type) {
+	case *rules.StructRemapRule:
+		align := e.alignFor(r.OutType.Align(), 0)
+		st.bases[r.OutVar] = alignDown(st.inBase, align)
+	case *rules.OutlineRule:
+		align := e.alignFor(r.OutType.Align(), 0)
+		primary := alignDown(st.inBase, align)
+		st.bases[r.OutVar] = primary
+		poolAlign := e.alignFor(r.PoolType.Align(), 0)
+		if onStack {
+			st.bases[r.PoolVar] = alignDown(primary-uint64(r.PoolType.Size()), poolAlign)
+		} else {
+			st.bases[r.PoolVar] = alignUp(primary+uint64(r.OutType.Size()), poolAlign)
+		}
+	case *rules.StrideRule:
+		align := e.alignFor(r.Elem.Align(), strideAutoAlign(r))
+		st.bases[r.OutVar] = alignDown(st.inBase, align)
+	case *rules.PeelRule:
+		// First group replaces the in structure; subsequent groups stack
+		// below it (stack variables) or above it (globals/heap).
+		primaryAlign := e.alignFor(r.Groups[0].Type.Align(), 0)
+		base := alignDown(st.inBase, primaryAlign)
+		st.bases[r.Groups[0].Var] = base
+		low := base
+		high := base + uint64(r.Groups[0].Type.Size())
+		for _, g := range r.Groups[1:] {
+			a := e.alignFor(g.Type.Align(), 0)
+			if onStack {
+				low = alignDown(low-uint64(g.Type.Size()), a)
+				st.bases[g.Var] = low
+			} else {
+				high = alignUp(high, a)
+				st.bases[g.Var] = high
+				high += uint64(g.Type.Size())
+			}
+		}
+	}
+	return nil
+}
+
+// alignFor picks the effective alignment: explicit option, else the larger
+// of the natural and automatic alignments.
+func (e *Engine) alignFor(natural, auto int64) uint64 {
+	if e.opts.ShadowAlign > 0 {
+		return uint64(e.opts.ShadowAlign)
+	}
+	a := natural
+	if auto > a {
+		a = auto
+	}
+	if a < 1 {
+		a = 1
+	}
+	return uint64(a)
+}
+
+// strideAutoAlign returns the power of two covering the formula's largest
+// byte jump, so that each pinned window falls entirely within one cache-set
+// stride (512 bytes for the paper's formula).
+func strideAutoAlign(r *rules.StrideRule) int64 {
+	esz := r.Elem.Size()
+	var maxJump int64 = esz
+	prev, err := r.Formula.Eval(0)
+	if err != nil {
+		return esz
+	}
+	for i := int64(1); i < r.InLen; i++ {
+		cur, err := r.Formula.Eval(i)
+		if err != nil {
+			return esz
+		}
+		jump := (cur - prev) * esz
+		if jump < 0 {
+			jump = -jump
+		}
+		if jump > maxJump {
+			maxJump = jump
+		}
+		prev = cur
+	}
+	align := int64(1)
+	for align < maxJump && align < 4096 {
+		align <<= 1
+	}
+	return align
+}
+
+func alignDown(a uint64, align uint64) uint64 { return a - a%align }
+
+func alignUp(a uint64, align uint64) uint64 {
+	if r := a % align; r != 0 {
+		return a + align - r
+	}
+	return a
+}

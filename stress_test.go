@@ -1,0 +1,104 @@
+// Scale test: push a million-record trace through the full pipeline —
+// tracing, transformation, simulation, reuse analysis — to guard the
+// streaming data paths against quadratic blow-ups.
+package tracedst_test
+
+import (
+	"testing"
+	"time"
+
+	"tracedst/internal/analysis"
+	"tracedst/internal/cache"
+	"tracedst/internal/dinero"
+	"tracedst/internal/rules"
+	"tracedst/internal/tracer"
+	"tracedst/internal/xform"
+)
+
+const stressProgram = `
+typedef struct { int mX; double mY; } Rec;
+Rec lRecs[4096];
+
+int main(void) {
+	double acc;
+	GLEIPNIR_START_INSTRUMENTATION;
+	acc = 0.0;
+	for (int pass = 0; pass < 32; pass++) {
+		for (int i = 0; i < 4096; i++) {
+			lRecs[i].mX = i;
+			lRecs[i].mY = acc + i;
+		}
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return 0;
+}
+`
+
+const stressRule = `
+in:
+struct lRecs { int mX; double mY; }[4096];
+out:
+struct lSplit { int mX[4096]; double mY[4096]; };
+`
+
+func TestMillionRecordPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	start := time.Now()
+	res, err := tracer.Run(stressProgram, nil, tracer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) < 1_000_000 {
+		t.Fatalf("trace has %d records, want ≥ 1M", len(res.Records))
+	}
+	traceDur := time.Since(start)
+
+	rule, err := rules.Parse(stressRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := xform.New(xform.Options{}, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	transformed, err := eng.TransformAll(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xformDur := time.Since(start)
+	if eng.Stats().Matched != 32*4096*2 {
+		t.Errorf("matched = %d", eng.Stats().Matched)
+	}
+
+	start = time.Now()
+	sim, err := dinero.New(dinero.Options{L1: cache.Paper32KDirect()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Process(transformed)
+	simDur := time.Since(start)
+	if sim.Records() != int64(len(transformed)) {
+		t.Errorf("simulated %d of %d", sim.Records(), len(transformed))
+	}
+
+	start = time.Now()
+	r := analysis.ReuseDistances(res.Records, 32)
+	reuseDur := time.Since(start)
+	if r.Accesses == 0 {
+		t.Fatal("empty reuse profile")
+	}
+
+	t.Logf("records=%d trace=%v xform=%v simulate=%v reuse=%v",
+		len(res.Records), traceDur, xformDur, simDur, reuseDur)
+	// Generous ceilings: each stage must stay comfortably sub-minute.
+	for name, d := range map[string]time.Duration{
+		"trace": traceDur, "xform": xformDur, "simulate": simDur, "reuse": reuseDur,
+	} {
+		if d > 30*time.Second {
+			t.Errorf("%s took %v (quadratic regression?)", name, d)
+		}
+	}
+}
