@@ -172,9 +172,11 @@ func BenchmarkCacheAccess(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var buf []cache.Outcome
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Access(cache.Read, uint64(i*64), 4, "v")
+		buf = c.Access(cache.Read, uint64(i*64), 4, 1, buf[:0])
 	}
 }
 
@@ -374,6 +376,7 @@ func BenchmarkAblationStreamingXform(b *testing.B) {
 func BenchmarkAblationAttribution(b *testing.B) {
 	f := load(b)
 	b.Run("bare-cache", func(b *testing.B) {
+		var buf []cache.Outcome
 		for i := 0; i < b.N; i++ {
 			c, _ := cache.New(cache.Paper32KDirect(), nil)
 			for j := range f.big {
@@ -381,7 +384,7 @@ func BenchmarkAblationAttribution(b *testing.B) {
 				if r.Op == trace.Misc {
 					continue
 				}
-				c.Access(cache.Read, r.Addr, r.Size, "")
+				buf = c.Access(cache.Read, r.Addr, r.Size, cache.NoOwner, buf[:0])
 			}
 		}
 	})

@@ -9,6 +9,7 @@
 //	experiments -fig 11
 //	experiments -fig 5 -diff          # include the full side-by-side diff
 //	experiments -all -outdir results  # also write CSV/gnuplot per figure
+//	experiments -all -parallel 1      # force a serial run
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"tracedst/internal/experiments"
 )
@@ -28,8 +30,10 @@ func main() {
 	showDiff := fs.Bool("diff", false, "print full side-by-side diffs for diff figures")
 	diffWidth := fs.Int("diff-width", 52, "diff column width")
 	outdir := fs.String("outdir", "", "also write per-figure CSV/gnuplot/diff files to this directory")
+	par := fs.Int("parallel", runtime.NumCPU(), "worker count for sweeps and -all figure regeneration (1 = serial)")
 	_ = fs.Parse(os.Args[1:])
 
+	experiments.SetParallelism(*par)
 	if *sweeps {
 		ss, err := experiments.Sweeps()
 		if err != nil {
@@ -42,12 +46,20 @@ func main() {
 			return
 		}
 	}
-	var ids []string
+	var results []*experiments.Result
 	switch {
 	case *all:
-		ids = experiments.IDs()
+		rs, err := experiments.All()
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
 	case *fig != 0:
-		ids = []string{fmt.Sprintf("fig%d", *fig)}
+		r, err := experiments.Run(fmt.Sprintf("fig%d", *fig))
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r)
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: need -all, -fig N or -sweep")
 		os.Exit(2)
@@ -57,11 +69,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	for _, id := range ids {
-		r, err := experiments.Run(id)
-		if err != nil {
-			fatal(err)
-		}
+	for _, r := range results {
 		fmt.Printf("==== %s — %s ====\n", r.ID, r.Title)
 		if r.Cache != "" {
 			fmt.Printf("cache: %s\n", r.Cache)

@@ -129,7 +129,7 @@ func TestReuseMatchesFullyAssociativeLRU(t *testing.T) {
 			first := rec.Addr / blockSize
 			last := (rec.End() - 1) / blockSize
 			for b := first; b <= last; b++ {
-				out := c.Access(cache.Read, b*blockSize, 1, "")
+				out := c.Access(cache.Read, b*blockSize, 1, cache.NoOwner, nil)
 				accesses++
 				if !out[0].Hit {
 					misses++

@@ -51,8 +51,10 @@ func MissTimeline(recs []trace.Record, cfg cache.Config, window int) (*Timeline,
 		}
 		cur = TimelinePoint{StartRecord: next}
 	}
+	var buf []cache.Outcome
 	count := func(kind cache.Kind, r *trace.Record) {
-		for _, o := range c.Access(kind, r.Addr, r.Size, "") {
+		buf = c.Access(kind, r.Addr, r.Size, cache.NoOwner, buf[:0])
+		for _, o := range buf {
 			cur.Accesses++
 			if !o.Hit {
 				cur.Misses++

@@ -51,7 +51,7 @@ func TestMissTimelineWindows(t *testing.T) {
 			kinds = append(kinds, cache.Read, cache.Write)
 		}
 		for _, k := range kinds {
-			for _, o := range c.Access(k, r.Addr, r.Size, "") {
+			for _, o := range c.Access(k, r.Addr, r.Size, cache.NoOwner, nil) {
 				acc2++
 				if !o.Hit {
 					miss2++

@@ -39,16 +39,25 @@ func (m MissClass) String() string {
 	return fmt.Sprintf("MissClass(%d)", int(m))
 }
 
+// OwnerID labels the program variable that filled a line, for eviction
+// attribution. The cache never interprets it beyond equality; callers that
+// track variables by name intern them (e.g. via trace.SymTab) and pass the
+// resulting integer. NoOwner (zero) means "unknown".
+type OwnerID int32
+
+// NoOwner is the OwnerID of an unattributed access.
+const NoOwner OwnerID = 0
+
 // Outcome describes what one block-granular access did.
 type Outcome struct {
 	Hit  bool
 	Set  int
 	Way  int
 	Miss MissClass
-	// Evicted reports a valid line was replaced; EvictedOwner is the label
-	// of the variable that had filled it.
+	// Evicted reports a valid line was replaced; EvictedOwner is the id of
+	// the variable that had filled it.
 	Evicted      bool
-	EvictedOwner string
+	EvictedOwner OwnerID
 	EvictedDirty bool
 }
 
@@ -58,7 +67,7 @@ type line struct {
 	dirty   bool
 	lastUse uint64
 	filled  uint64
-	owner   string
+	owner   OwnerID
 }
 
 type set struct {
@@ -83,6 +92,11 @@ type Cache struct {
 	// shadow is an infinite-capacity LRU directory limited to Size/Block
 	// entries for capacity-vs-conflict classification.
 	shadow *shadowLRU
+
+	// scratch receives the outcomes of fill/writeback traffic bubbled to
+	// the next level, so propagation never allocates. A Cache is not safe
+	// for concurrent use, so reusing it across calls is fine.
+	scratch []Outcome
 }
 
 // New builds a cache level. next, if non-nil, receives miss fills and
@@ -143,15 +157,16 @@ func (c *Cache) SetOf(addr uint64) int {
 func (c *Cache) BlockOf(addr uint64) uint64 { return addr >> c.blkShift }
 
 // Access performs one possibly block-spanning access. owner labels the
-// program variable for eviction attribution ("" when unknown). One Outcome
-// is returned per block touched.
-func (c *Cache) Access(kind Kind, addr uint64, size int64, owner string) []Outcome {
+// program variable for eviction attribution (NoOwner when unknown). One
+// Outcome per block touched is appended to out, which is returned; passing
+// a reused buffer (out[:0]) keeps the hot path allocation-free, passing nil
+// allocates as before.
+func (c *Cache) Access(kind Kind, addr uint64, size int64, owner OwnerID, out []Outcome) []Outcome {
 	if size <= 0 {
 		size = 1
 	}
 	first := addr >> c.blkShift
 	last := (addr + uint64(size) - 1) >> c.blkShift
-	out := make([]Outcome, 0, last-first+1)
 	missed := false
 	for b := first; b <= last; b++ {
 		o := c.accessBlock(kind, b, owner)
@@ -164,9 +179,15 @@ func (c *Cache) Access(kind Kind, addr uint64, size int64, owner string) []Outco
 	return out
 }
 
+// bubble sends one block of fill/writeback traffic to the next level,
+// reusing the scratch buffer so propagation does not allocate.
+func (c *Cache) bubble(kind Kind, addr uint64, owner OwnerID) {
+	c.scratch = c.next.Access(kind, addr, c.cfg.BlockSize, owner, c.scratch[:0])
+}
+
 // prefetchBlock brings the next sequential block in without touching the
 // demand statistics (DineroIV-style sequential prefetch).
-func (c *Cache) prefetchBlock(block uint64, owner string) {
+func (c *Cache) prefetchBlock(block uint64, owner OwnerID) {
 	c.stats.Prefetches++
 	si := int(block & c.setMask)
 	tag := block >> c.setBits
@@ -178,7 +199,7 @@ func (c *Cache) prefetchBlock(block uint64, owner string) {
 	}
 	c.stats.PrefetchFills++
 	if c.next != nil {
-		c.next.Access(Read, block<<c.blkShift, c.cfg.BlockSize, owner)
+		c.bubble(Read, block<<c.blkShift, owner)
 	}
 	c.clock++
 	w := c.pickVictim(st)
@@ -189,7 +210,7 @@ func (c *Cache) prefetchBlock(block uint64, owner string) {
 			c.stats.Writebacks++
 			if c.next != nil {
 				victimBlock := ln.tag<<c.setBits | uint64(si)
-				c.next.Access(Write, victimBlock<<c.blkShift, c.cfg.BlockSize, ln.owner)
+				c.bubble(Write, victimBlock<<c.blkShift, ln.owner)
 			}
 		}
 	}
@@ -198,7 +219,7 @@ func (c *Cache) prefetchBlock(block uint64, owner string) {
 }
 
 // accessBlock performs one block-granular access.
-func (c *Cache) accessBlock(kind Kind, block uint64, owner string) Outcome {
+func (c *Cache) accessBlock(kind Kind, block uint64, owner OwnerID) Outcome {
 	c.clock++
 	si := int(block & c.setMask)
 	tag := block >> c.setBits
@@ -218,7 +239,7 @@ func (c *Cache) accessBlock(kind Kind, block uint64, owner string) Outcome {
 				if c.cfg.Write == WriteBack {
 					ln.dirty = true
 				} else if c.next != nil {
-					c.next.Access(Write, block<<c.blkShift, c.cfg.BlockSize, owner)
+					c.bubble(Write, block<<c.blkShift, owner)
 				}
 			}
 			c.record(kind, si, true, NotMiss)
@@ -234,7 +255,7 @@ func (c *Cache) accessBlock(kind Kind, block uint64, owner string) Outcome {
 	if kind == Write && c.cfg.Alloc == NoWriteAllocate {
 		// Write-around: no fill.
 		if c.next != nil {
-			c.next.Access(Write, block<<c.blkShift, c.cfg.BlockSize, owner)
+			c.bubble(Write, block<<c.blkShift, owner)
 		}
 		c.classifyTouch(block)
 		return res
@@ -242,7 +263,7 @@ func (c *Cache) accessBlock(kind Kind, block uint64, owner string) Outcome {
 
 	// Fetch from the next level.
 	if c.next != nil {
-		c.next.Access(Read, block<<c.blkShift, c.cfg.BlockSize, owner)
+		c.bubble(Read, block<<c.blkShift, owner)
 	}
 
 	// Victim selection.
@@ -257,7 +278,7 @@ func (c *Cache) accessBlock(kind Kind, block uint64, owner string) Outcome {
 			c.stats.Writebacks++
 			if c.next != nil {
 				victimBlock := ln.tag<<c.setBits | uint64(si)
-				c.next.Access(Write, victimBlock<<c.blkShift, c.cfg.BlockSize, ln.owner)
+				c.bubble(Write, victimBlock<<c.blkShift, ln.owner)
 			}
 		}
 	}
@@ -272,7 +293,7 @@ func (c *Cache) accessBlock(kind Kind, block uint64, owner string) Outcome {
 		if c.cfg.Write == WriteBack {
 			ln.dirty = true
 		} else if c.next != nil {
-			c.next.Access(Write, block<<c.blkShift, c.cfg.BlockSize, owner)
+			c.bubble(Write, block<<c.blkShift, owner)
 		}
 	}
 	res.Way = w

@@ -55,17 +55,17 @@ func TestConfigValidate(t *testing.T) {
 
 func TestDirectMappedHitMiss(t *testing.T) {
 	c := mustNew(t, small(1, ReplLRU), nil) // 8 sets of 1 way
-	r1 := c.Access(Read, 0x1000, 4, "a")
+	r1 := c.Access(Read, 0x1000, 4, 1, nil)
 	if len(r1) != 1 || r1[0].Hit {
 		t.Fatalf("first access = %+v", r1)
 	}
-	r2 := c.Access(Read, 0x1004, 4, "a") // same block
+	r2 := c.Access(Read, 0x1004, 4, 1, nil) // same block
 	if !r2[0].Hit {
 		t.Error("same-block access missed")
 	}
 	// Same set (set 0), different tag → conflict eviction.
-	r3 := c.Access(Read, 0x1000+256, 4, "b")
-	if r3[0].Hit || !r3[0].Evicted || r3[0].EvictedOwner != "a" {
+	r3 := c.Access(Read, 0x1000+256, 4, 2, nil)
+	if r3[0].Hit || !r3[0].Evicted || r3[0].EvictedOwner != 1 {
 		t.Errorf("conflicting access = %+v", r3[0])
 	}
 	st := c.Stats()
@@ -79,7 +79,7 @@ func TestSetIndexing(t *testing.T) {
 	if c.SetOf(0) != 0 || c.SetOf(32) != 1 || c.SetOf(32*8) != 0 || c.SetOf(33) != 1 {
 		t.Errorf("SetOf = %d %d %d %d", c.SetOf(0), c.SetOf(32), c.SetOf(32*8), c.SetOf(33))
 	}
-	out := c.Access(Read, 64, 4, "")
+	out := c.Access(Read, 64, 4, NoOwner, nil)
 	if out[0].Set != 2 {
 		t.Errorf("outcome set = %d", out[0].Set)
 	}
@@ -92,14 +92,14 @@ func TestLRUReplacement(t *testing.T) {
 	// 2-way, 4 sets. Blocks A, B, C all in set 0.
 	c := mustNew(t, small(2, ReplLRU), nil)
 	blockAddr := func(k int) uint64 { return uint64(k) * 32 * 4 } // stride one set-round
-	c.Access(Read, blockAddr(0), 4, "A")
-	c.Access(Read, blockAddr(1), 4, "B")
-	c.Access(Read, blockAddr(0), 4, "A") // A now MRU
-	out := c.Access(Read, blockAddr(2), 4, "C")
-	if !out[0].Evicted || out[0].EvictedOwner != "B" {
-		t.Errorf("LRU evicted %+v, want B", out[0])
+	c.Access(Read, blockAddr(0), 4, 1, nil)
+	c.Access(Read, blockAddr(1), 4, 2, nil)
+	c.Access(Read, blockAddr(0), 4, 1, nil) // A now MRU
+	out := c.Access(Read, blockAddr(2), 4, 3, nil)
+	if !out[0].Evicted || out[0].EvictedOwner != 2 {
+		t.Errorf("LRU evicted %+v, want owner 2 (B)", out[0])
 	}
-	if hit := c.Access(Read, blockAddr(0), 4, "A"); !hit[0].Hit {
+	if hit := c.Access(Read, blockAddr(0), 4, 1, nil); !hit[0].Hit {
 		t.Error("A should have survived")
 	}
 }
@@ -107,25 +107,25 @@ func TestLRUReplacement(t *testing.T) {
 func TestFIFOReplacement(t *testing.T) {
 	c := mustNew(t, small(2, ReplFIFO), nil)
 	blockAddr := func(k int) uint64 { return uint64(k) * 32 * 4 }
-	c.Access(Read, blockAddr(0), 4, "A")
-	c.Access(Read, blockAddr(1), 4, "B")
-	c.Access(Read, blockAddr(0), 4, "A") // recency must NOT save A under FIFO
-	out := c.Access(Read, blockAddr(2), 4, "C")
-	if !out[0].Evicted || out[0].EvictedOwner != "A" {
-		t.Errorf("FIFO evicted %+v, want A", out[0])
+	c.Access(Read, blockAddr(0), 4, 1, nil)
+	c.Access(Read, blockAddr(1), 4, 2, nil)
+	c.Access(Read, blockAddr(0), 4, 1, nil) // recency must NOT save A under FIFO
+	out := c.Access(Read, blockAddr(2), 4, 3, nil)
+	if !out[0].Evicted || out[0].EvictedOwner != 1 {
+		t.Errorf("FIFO evicted %+v, want owner 1 (A)", out[0])
 	}
 }
 
 func TestRoundRobinReplacement(t *testing.T) {
 	c := mustNew(t, small(2, ReplRoundRobin), nil)
 	blockAddr := func(k int) uint64 { return uint64(k) * 32 * 4 }
-	c.Access(Read, blockAddr(0), 4, "A")       // way 0
-	c.Access(Read, blockAddr(1), 4, "B")       // way 1
-	o1 := c.Access(Read, blockAddr(2), 4, "C") // rr pointer at 0 → evict A
-	o2 := c.Access(Read, blockAddr(3), 4, "D") // rr pointer at 1 → evict B
-	o3 := c.Access(Read, blockAddr(4), 4, "E") // wraps → evict C
-	if o1[0].EvictedOwner != "A" || o2[0].EvictedOwner != "B" || o3[0].EvictedOwner != "C" {
-		t.Errorf("RR evictions = %q %q %q", o1[0].EvictedOwner, o2[0].EvictedOwner, o3[0].EvictedOwner)
+	c.Access(Read, blockAddr(0), 4, 1, nil)       // way 0
+	c.Access(Read, blockAddr(1), 4, 2, nil)       // way 1
+	o1 := c.Access(Read, blockAddr(2), 4, 3, nil) // rr pointer at 0 → evict A
+	o2 := c.Access(Read, blockAddr(3), 4, 4, nil) // rr pointer at 1 → evict B
+	o3 := c.Access(Read, blockAddr(4), 4, 5, nil) // wraps → evict C
+	if o1[0].EvictedOwner != 1 || o2[0].EvictedOwner != 2 || o3[0].EvictedOwner != 3 {
+		t.Errorf("RR evictions = %d %d %d", o1[0].EvictedOwner, o2[0].EvictedOwner, o3[0].EvictedOwner)
 	}
 }
 
@@ -134,7 +134,7 @@ func TestRandomReplacementDeterministic(t *testing.T) {
 		c := mustNew(t, Config{Size: 256, BlockSize: 32, Assoc: 2, Repl: ReplRandom, Seed: 42}, nil)
 		var ways []int
 		for k := 0; k < 8; k++ {
-			out := c.Access(Read, uint64(k)*32*4, 4, "")
+			out := c.Access(Read, uint64(k)*32*4, 4, NoOwner, nil)
 			ways = append(ways, out[0].Way)
 		}
 		return ways
@@ -153,11 +153,11 @@ func TestRandomReplacementDeterministic(t *testing.T) {
 func TestWriteBackEviction(t *testing.T) {
 	l2 := mustNew(t, Config{Name: "l2", Size: 4096, BlockSize: 32, Assoc: 4}, nil)
 	l1 := mustNew(t, small(1, ReplLRU), l2)
-	l1.Access(Write, 0x0, 4, "x") // miss, fill, dirty
+	l1.Access(Write, 0x0, 4, 1, nil) // miss, fill, dirty
 	if l2.Stats().Reads != 1 {
 		t.Errorf("L2 fill reads = %d", l2.Stats().Reads)
 	}
-	l1.Access(Read, 256, 4, "y") // evicts dirty x → writeback to L2
+	l1.Access(Read, 256, 4, 2, nil) // evicts dirty x → writeback to L2
 	st := l1.Stats()
 	if st.Writebacks != 1 || st.Evictions != 1 {
 		t.Errorf("stats = %+v", st)
@@ -170,13 +170,13 @@ func TestWriteBackEviction(t *testing.T) {
 func TestWriteThrough(t *testing.T) {
 	l2 := mustNew(t, Config{Name: "l2", Size: 4096, BlockSize: 32, Assoc: 4}, nil)
 	l1 := mustNew(t, Config{Size: 256, BlockSize: 32, Assoc: 1, Write: WriteThrough}, l2)
-	l1.Access(Write, 0x0, 4, "x") // miss: fill read + through write
-	l1.Access(Write, 0x0, 4, "x") // hit: through write
+	l1.Access(Write, 0x0, 4, 1, nil) // miss: fill read + through write
+	l1.Access(Write, 0x0, 4, 1, nil) // hit: through write
 	if got := l2.Stats().Writes; got != 2 {
 		t.Errorf("L2 writes = %d, want 2", got)
 	}
 	// No dirty lines → no writebacks ever.
-	l1.Access(Read, 256, 4, "y")
+	l1.Access(Read, 256, 4, 2, nil)
 	if l1.Stats().Writebacks != 0 {
 		t.Error("write-through produced a writeback")
 	}
@@ -184,16 +184,16 @@ func TestWriteThrough(t *testing.T) {
 
 func TestNoWriteAllocate(t *testing.T) {
 	c := mustNew(t, Config{Size: 256, BlockSize: 32, Assoc: 1, Alloc: NoWriteAllocate}, nil)
-	c.Access(Write, 0x0, 4, "x")
+	c.Access(Write, 0x0, 4, 1, nil)
 	// The block must not be resident.
-	if out := c.Access(Read, 0x0, 4, "x"); out[0].Hit {
+	if out := c.Access(Read, 0x0, 4, 1, nil); out[0].Hit {
 		t.Error("write miss filled the cache under no-write-allocate")
 	}
 }
 
 func TestBlockSpanningAccess(t *testing.T) {
 	c := mustNew(t, small(1, ReplLRU), nil)
-	out := c.Access(Read, 30, 8, "") // crosses the 32-byte boundary
+	out := c.Access(Read, 30, 8, NoOwner, nil) // crosses the 32-byte boundary
 	if len(out) != 2 {
 		t.Fatalf("outcomes = %d, want 2", len(out))
 	}
@@ -207,7 +207,7 @@ func TestBlockSpanningAccess(t *testing.T) {
 
 func TestZeroSizeAccessTreatedAsOne(t *testing.T) {
 	c := mustNew(t, small(1, ReplLRU), nil)
-	if out := c.Access(Read, 0, 0, ""); len(out) != 1 {
+	if out := c.Access(Read, 0, 0, NoOwner, nil); len(out) != 1 {
 		t.Errorf("outcomes = %+v", out)
 	}
 }
@@ -218,14 +218,14 @@ func TestThreeCClassification(t *testing.T) {
 	c := mustNew(t, cfg, nil)
 
 	// First touches: compulsory.
-	out := c.Access(Read, 0, 4, "")
+	out := c.Access(Read, 0, 4, NoOwner, nil)
 	if out[0].Miss != Compulsory {
 		t.Errorf("first touch = %v", out[0].Miss)
 	}
 	// Ping-pong two blocks in the same set while the cache is mostly empty:
 	// conflict misses (a fully associative cache would hold both).
-	c.Access(Read, 256, 4, "")
-	out = c.Access(Read, 0, 4, "")
+	c.Access(Read, 256, 4, NoOwner, nil)
+	out = c.Access(Read, 0, 4, NoOwner, nil)
 	if out[0].Miss != Conflict {
 		t.Errorf("ping-pong miss = %v, want conflict", out[0].Miss)
 	}
@@ -242,7 +242,7 @@ func TestCapacityClassification(t *testing.T) {
 	// the same size also misses).
 	for round := 0; round < 2; round++ {
 		for b := 0; b < 16; b++ {
-			c.Access(Read, uint64(b)*32, 4, "")
+			c.Access(Read, uint64(b)*32, 4, NoOwner, nil)
 		}
 	}
 	st := c.Stats()
@@ -264,7 +264,7 @@ func TestSetPinningResidency(t *testing.T) {
 	var blocks []uint64
 	base := uint64(0x10000)
 	for off := int64(0); off < 4096; off += 32 {
-		c.Access(Write, base+uint64(off), 4, "lContiguousArray")
+		c.Access(Write, base+uint64(off), 4, 1, nil)
 		blocks = append(blocks, (base+uint64(off))>>5)
 	}
 	if got := c.ResidentBlocks(blocks); got != 128 {
@@ -277,7 +277,7 @@ func TestSetPinningResidency(t *testing.T) {
 	for k := 0; k < 128; k++ {
 		block := uint64(k)*16 + 11 // block % 16 == 11
 		addr := block << 5
-		c2.Access(Write, addr, 4, "lSetHashingArray")
+		c2.Access(Write, addr, 4, 1, nil)
 		pinned = append(pinned, block)
 	}
 	got := c2.ResidentBlocks(pinned)
@@ -298,17 +298,17 @@ func TestSetPinningResidency(t *testing.T) {
 
 func TestFlush(t *testing.T) {
 	c := mustNew(t, small(2, ReplLRU), nil)
-	c.Access(Read, 0, 4, "")
+	c.Access(Read, 0, 4, NoOwner, nil)
 	c.Flush()
-	if out := c.Access(Read, 0, 4, ""); out[0].Hit {
+	if out := c.Access(Read, 0, 4, NoOwner, nil); out[0].Hit {
 		t.Error("hit after flush")
 	}
 }
 
 func TestStatsReport(t *testing.T) {
 	c := mustNew(t, small(1, ReplLRU), nil)
-	c.Access(Read, 0, 4, "")
-	c.Access(Write, 0, 4, "")
+	c.Access(Read, 0, 4, NoOwner, nil)
+	c.Access(Write, 0, 4, NoOwner, nil)
 	rep := c.Stats().Report("l1-data")
 	for _, want := range []string{"l1-data", "Demand Fetches", "Demand Misses", "Miss Rate"} {
 		if !strings.Contains(rep, want) {
@@ -366,7 +366,7 @@ func TestStatsInvariant(t *testing.T) {
 			if i < len(writes) && writes[i] {
 				k = Write
 			}
-			c.Access(k, uint64(a), 4, "v")
+			c.Access(k, uint64(a), 4, 1, nil)
 		}
 		st := c.Stats()
 		if st.Hits()+st.Misses() != st.Accesses() {
@@ -391,8 +391,8 @@ func TestTemporalLocalityProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		c.Access(Read, uint64(addr), 4, "")
-		out := c.Access(Read, uint64(addr), 4, "")
+		c.Access(Read, uint64(addr), 4, NoOwner, nil)
+		out := c.Access(Read, uint64(addr), 4, NoOwner, nil)
 		for _, o := range out {
 			if !o.Hit {
 				return false
@@ -426,7 +426,7 @@ func TestHierarchyInvariants(t *testing.T) {
 			if i < len(writes) && writes[i] {
 				k = Write
 			}
-			for _, o := range l1.Access(k, uint64(a), 4, "") {
+			for _, o := range l1.Access(k, uint64(a), 4, NoOwner, nil) {
 				if !o.Hit {
 					fills++
 				}

@@ -14,7 +14,7 @@ func TestPrefetchAlwaysSequentialSweep(t *testing.T) {
 	c := mustNew(t, cfg, nil)
 	var misses int64
 	for b := 0; b < 64; b++ {
-		for _, o := range c.Access(Read, uint64(b)*32, 4, "arr") {
+		for _, o := range c.Access(Read, uint64(b)*32, 4, 1, nil) {
 			if !o.Hit {
 				misses++
 			}
@@ -41,9 +41,9 @@ func TestPrefetchMissOnlyOnMisses(t *testing.T) {
 	cfg := Paper32KDirect()
 	cfg.Prefetch = PrefetchMiss
 	c := mustNew(t, cfg, nil)
-	c.Access(Read, 0, 4, "")  // miss → prefetch block 1
-	c.Access(Read, 0, 4, "")  // hit → no prefetch
-	c.Access(Read, 32, 4, "") // hit (prefetched) → no prefetch
+	c.Access(Read, 0, 4, NoOwner, nil)  // miss → prefetch block 1
+	c.Access(Read, 0, 4, NoOwner, nil)  // hit → no prefetch
+	c.Access(Read, 32, 4, NoOwner, nil) // hit (prefetched) → no prefetch
 	st := c.Stats()
 	if st.Prefetches != 1 || st.PrefetchFills != 1 {
 		t.Errorf("prefetches = %d fills = %d, want 1/1", st.Prefetches, st.PrefetchFills)
@@ -58,7 +58,7 @@ func TestPrefetchMissOnlyOnMisses(t *testing.T) {
 func TestPrefetchDoesNotTouchDemandStats(t *testing.T) {
 	cfg := Config{Size: 256, BlockSize: 32, Assoc: 1, Prefetch: PrefetchAlways}
 	c := mustNew(t, cfg, nil)
-	c.Access(Read, 0, 4, "v")
+	c.Access(Read, 0, 4, 1, nil)
 	st := c.Stats()
 	var perSet int64
 	for _, ps := range st.PerSet {
@@ -77,7 +77,7 @@ func TestPrefetchFillsNextLevel(t *testing.T) {
 	l2 := mustNew(t, Config{Name: "l2", Size: 4096, BlockSize: 32, Assoc: 4}, nil)
 	cfg := Config{Size: 256, BlockSize: 32, Assoc: 1, Prefetch: PrefetchMiss}
 	l1 := mustNew(t, cfg, l2)
-	l1.Access(Read, 0, 4, "")
+	l1.Access(Read, 0, 4, NoOwner, nil)
 	// L2 sees the demand fill and the prefetch fill.
 	if got := l2.Stats().Reads; got != 2 {
 		t.Errorf("L2 reads = %d, want 2", got)
@@ -109,7 +109,7 @@ func TestPrefetchReportLine(t *testing.T) {
 	cfg := Paper32KDirect()
 	cfg.Prefetch = PrefetchAlways
 	c := mustNew(t, cfg, nil)
-	c.Access(Read, 0, 4, "")
+	c.Access(Read, 0, 4, NoOwner, nil)
 	rep := c.Stats().Report("l1")
 	if !strings.Contains(rep, "Prefetches") {
 		t.Errorf("report missing prefetch line:\n%s", rep)

@@ -47,7 +47,7 @@ func TestDirectMappedMatchesReference(t *testing.T) {
 		}
 		ref := newRefDM(cfg.Size, cfg.BlockSize)
 		for _, a := range addrs {
-			got := c.Access(Read, uint64(a), 1, "")[0].Hit
+			got := c.Access(Read, uint64(a), 1, NoOwner, nil)[0].Hit
 			want := ref.access(uint64(a))
 			if got != want {
 				return false
@@ -93,7 +93,7 @@ func TestFullyAssociativeLRUMatchesReference(t *testing.T) {
 		}
 		ref := &refFullyAssocLRU{blockShift: 5, capacity: 8}
 		for _, a := range addrs {
-			got := c.Access(Read, uint64(a), 1, "")[0].Hit
+			got := c.Access(Read, uint64(a), 1, NoOwner, nil)[0].Hit
 			if got != ref.access(uint64(a)) {
 				return false
 			}
@@ -122,8 +122,8 @@ func TestLRUInclusionProperty(t *testing.T) {
 			return false
 		}
 		for _, a := range addrs {
-			hitSmall := small.Access(Read, uint64(a), 1, "")[0].Hit
-			hitBig := big.Access(Read, uint64(a), 1, "")[0].Hit
+			hitSmall := small.Access(Read, uint64(a), 1, NoOwner, nil)[0].Hit
+			hitBig := big.Access(Read, uint64(a), 1, NoOwner, nil)[0].Hit
 			if hitSmall && !hitBig {
 				return false
 			}

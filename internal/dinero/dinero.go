@@ -4,6 +4,13 @@
 // program variable named in each trace line, per-set counters feed the
 // paper's figures, and a variable×variable eviction matrix exposes
 // "conflicts between program structures".
+//
+// The per-access hot path is allocation-lean: symbols are interned into
+// integer ids (trace.SymTab) so attribution is a slice index instead of a
+// string-map lookup, cache outcomes land in a reusable buffer, and per-set
+// series grow lazily in 64-set pages. Feeding records that were interned
+// (trace.InternRecords) against the table passed in Options.Syms skips
+// string handling entirely.
 package dinero
 
 import (
@@ -30,7 +37,18 @@ type Options struct {
 	// physically indexed (shared) caches, the paper's §VI remedy for
 	// virtual-address-only traces.
 	Translate func(uint64) uint64
+	// Syms, when non-nil, is the intern table the simulator attributes
+	// against. Records whose FuncID/VarID were filled by
+	// trace.InternRecords against this same table are attributed without
+	// touching their string fields — the fast path for parallel sweeps
+	// sharing one immutable record slice. When nil the simulator creates a
+	// private table and interns per record, and any ids carried on records
+	// are ignored (they belong to some other table).
+	Syms *trace.SymTab
 }
+
+// perSetPage is the lazy-allocation granule of a variable's per-set series.
+const perSetPage = 64
 
 // VarSeries accumulates one variable's cache behaviour: the per-set series
 // plotted in the paper's figures plus totals.
@@ -40,6 +58,55 @@ type VarSeries struct {
 	Hits     int64
 	Misses   int64
 	PerSet   []cache.SetStats
+
+	// pages backs PerSet sparsely: one 64-set page per touched region, so
+	// large-cache sweeps with many variables stop paying O(vars×sets)
+	// memory up front. PerSet is materialized from it by the accessors.
+	pages [][]cache.SetStats
+	nsets int
+	dirty bool
+}
+
+func newVarSeries(name string, nsets int) *VarSeries {
+	return &VarSeries{
+		Name:  name,
+		nsets: nsets,
+		pages: make([][]cache.SetStats, (nsets+perSetPage-1)/perSetPage),
+	}
+}
+
+// touch records one block outcome for set.
+func (vs *VarSeries) touch(set int, hit bool) {
+	pg := vs.pages[set/perSetPage]
+	if pg == nil {
+		pg = make([]cache.SetStats, perSetPage)
+		vs.pages[set/perSetPage] = pg
+	}
+	if hit {
+		pg[set%perSetPage].Hits++
+	} else {
+		pg[set%perSetPage].Misses++
+	}
+	vs.dirty = true
+}
+
+// materialize fills the dense PerSet slice from the sparse pages. The
+// accessors call it, so PerSet is always current on series obtained from
+// Var/Vars after feeding finished.
+func (vs *VarSeries) materialize() {
+	if !vs.dirty && vs.PerSet != nil {
+		return
+	}
+	if vs.PerSet == nil {
+		vs.PerSet = make([]cache.SetStats, vs.nsets)
+	}
+	for pi, pg := range vs.pages {
+		if pg == nil {
+			continue
+		}
+		copy(vs.PerSet[pi*perSetPage:], pg)
+	}
+	vs.dirty = false
 }
 
 // FuncStats accumulates one function's totals.
@@ -62,12 +129,22 @@ type Conflict struct {
 type Simulator struct {
 	l1, l2 *cache.Cache
 
-	vars      map[string]*VarSeries
-	funcs     map[string]*FuncStats
-	conflicts map[[2]string]int64
+	syms     *trace.SymTab
+	trustIDs bool // record ids were issued by syms
+	nosymID  trace.SymID
+	nsets    int
+
+	// varsByID / funcsByID are indexed by trace.SymID; nil entries are
+	// symbols the simulation never touched.
+	varsByID  []*VarSeries
+	funcsByID []*FuncStats
+	// conflicts is keyed by evictorID<<32 | victimID.
+	conflicts map[uint64]int64
 	translate func(uint64) uint64
 	records   int64
 	ignored   int64
+	// out is the reusable outcome buffer handed to cache.Access.
+	out []cache.Outcome
 }
 
 // New builds a simulator.
@@ -84,12 +161,19 @@ func New(opts Options) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	syms := opts.Syms
+	trust := syms != nil
+	if syms == nil {
+		syms = trace.NewSymTab()
+	}
 	return &Simulator{
 		l1:        l1,
 		l2:        l2,
-		vars:      map[string]*VarSeries{},
-		funcs:     map[string]*FuncStats{},
-		conflicts: map[[2]string]int64{},
+		syms:      syms,
+		trustIDs:  trust,
+		nosymID:   syms.Intern(NoSymbol),
+		nsets:     l1.Config().Sets(),
+		conflicts: map[uint64]int64{},
 		translate: opts.Translate,
 	}, nil
 }
@@ -103,12 +187,22 @@ func (s *Simulator) L2() *cache.Cache { return s.l2 }
 // Records returns the number of trace records consumed.
 func (s *Simulator) Records() int64 { return s.records }
 
-// varKey buckets a record by its symbolic root variable.
-func varKey(rec *trace.Record) string {
+// varID buckets a record by its symbolic root variable.
+func (s *Simulator) varID(rec *trace.Record) trace.SymID {
 	if !rec.HasSym {
-		return NoSymbol
+		return s.nosymID
 	}
-	return rec.Var.Root
+	if s.trustIDs && rec.VarID != 0 {
+		return rec.VarID
+	}
+	return s.syms.Intern(rec.Var.Root)
+}
+
+func (s *Simulator) funcID(rec *trace.Record) trace.SymID {
+	if s.trustIDs && rec.FuncID != 0 {
+		return rec.FuncID
+	}
+	return s.syms.Intern(rec.Func)
 }
 
 // Feed simulates one trace record. Loads access the cache once; stores
@@ -116,60 +210,74 @@ func varKey(rec *trace.Record) string {
 // the RMW). X records are counted but do not touch the cache.
 func (s *Simulator) Feed(rec *trace.Record) {
 	s.records++
-	owner := varKey(rec)
 	switch rec.Op {
 	case trace.Load:
-		s.apply(rec, owner, cache.Read)
+		s.apply(rec, cache.Read)
 	case trace.Store:
-		s.apply(rec, owner, cache.Write)
+		s.apply(rec, cache.Write)
 	case trace.Modify:
-		s.apply(rec, owner, cache.Read)
-		s.apply(rec, owner, cache.Write)
+		s.apply(rec, cache.Read)
+		s.apply(rec, cache.Write)
 	default:
 		s.ignored++
 	}
 }
 
-func (s *Simulator) apply(rec *trace.Record, owner string, kind cache.Kind) {
+func (s *Simulator) apply(rec *trace.Record, kind cache.Kind) {
 	addr := rec.Addr
 	if s.translate != nil {
 		addr = s.translate(addr)
 	}
-	outcomes := s.l1.Access(kind, addr, rec.Size, owner)
-	vs := s.varSeries(owner)
-	fs := s.funcStats(rec.Func)
-	for _, o := range outcomes {
+	vid := s.varID(rec)
+	fid := s.funcID(rec)
+	owner := cache.OwnerID(vid)
+	s.out = s.l1.Access(kind, addr, rec.Size, owner, s.out[:0])
+	vs := s.varAt(vid)
+	fs := s.funcAt(fid)
+	for i := range s.out {
+		o := &s.out[i]
 		vs.Accesses++
 		fs.Accesses++
 		if o.Hit {
 			vs.Hits++
 			fs.Hits++
-			vs.PerSet[o.Set].Hits++
 		} else {
 			vs.Misses++
 			fs.Misses++
-			vs.PerSet[o.Set].Misses++
 		}
-		if o.Evicted && o.EvictedOwner != "" && o.EvictedOwner != owner {
-			s.conflicts[[2]string{owner, o.EvictedOwner}]++
+		vs.touch(o.Set, o.Hit)
+		if o.Evicted && o.EvictedOwner != cache.NoOwner && o.EvictedOwner != owner {
+			s.conflicts[uint64(uint32(vid))<<32|uint64(uint32(o.EvictedOwner))]++
 		}
 	}
 }
 
-func (s *Simulator) varSeries(name string) *VarSeries {
-	vs := s.vars[name]
+func (s *Simulator) varAt(id trace.SymID) *VarSeries {
+	i := int(id)
+	if i >= len(s.varsByID) {
+		grown := make([]*VarSeries, i+1)
+		copy(grown, s.varsByID)
+		s.varsByID = grown
+	}
+	vs := s.varsByID[i]
 	if vs == nil {
-		vs = &VarSeries{Name: name, PerSet: make([]cache.SetStats, s.l1.Config().Sets())}
-		s.vars[name] = vs
+		vs = newVarSeries(s.syms.Name(id), s.nsets)
+		s.varsByID[i] = vs
 	}
 	return vs
 }
 
-func (s *Simulator) funcStats(name string) *FuncStats {
-	fs := s.funcs[name]
+func (s *Simulator) funcAt(id trace.SymID) *FuncStats {
+	i := int(id)
+	if i >= len(s.funcsByID) {
+		grown := make([]*FuncStats, i+1)
+		copy(grown, s.funcsByID)
+		s.funcsByID = grown
+	}
+	fs := s.funcsByID[i]
 	if fs == nil {
-		fs = &FuncStats{Name: name}
-		s.funcs[name] = fs
+		fs = &FuncStats{Name: s.syms.Name(id)}
+		s.funcsByID[i] = fs
 	}
 	return fs
 }
@@ -196,13 +304,27 @@ func (s *Simulator) ProcessReader(rd *trace.Reader) error {
 }
 
 // Var returns the series for one variable (nil when unseen).
-func (s *Simulator) Var(name string) *VarSeries { return s.vars[name] }
+func (s *Simulator) Var(name string) *VarSeries {
+	id, ok := s.syms.Lookup(name)
+	if !ok || int(id) >= len(s.varsByID) {
+		return nil
+	}
+	vs := s.varsByID[id]
+	if vs != nil {
+		vs.materialize()
+	}
+	return vs
+}
 
 // Vars returns all variable series sorted by descending access count, then
 // name.
 func (s *Simulator) Vars() []*VarSeries {
-	out := make([]*VarSeries, 0, len(s.vars))
-	for _, vs := range s.vars {
+	out := make([]*VarSeries, 0, len(s.varsByID))
+	for _, vs := range s.varsByID {
+		if vs == nil {
+			continue
+		}
+		vs.materialize()
 		out = append(out, vs)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -216,9 +338,11 @@ func (s *Simulator) Vars() []*VarSeries {
 
 // Funcs returns per-function stats sorted by descending access count.
 func (s *Simulator) Funcs() []*FuncStats {
-	out := make([]*FuncStats, 0, len(s.funcs))
-	for _, fs := range s.funcs {
-		out = append(out, fs)
+	out := make([]*FuncStats, 0, len(s.funcsByID))
+	for _, fs := range s.funcsByID {
+		if fs != nil {
+			out = append(out, fs)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Accesses != out[j].Accesses {
@@ -233,7 +357,11 @@ func (s *Simulator) Funcs() []*FuncStats {
 func (s *Simulator) Conflicts() []Conflict {
 	out := make([]Conflict, 0, len(s.conflicts))
 	for k, n := range s.conflicts {
-		out = append(out, Conflict{Evictor: k[0], Victim: k[1], Count: n})
+		out = append(out, Conflict{
+			Evictor: s.syms.Name(trace.SymID(k >> 32)),
+			Victim:  s.syms.Name(trace.SymID(uint32(k))),
+			Count:   n,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {

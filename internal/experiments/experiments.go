@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"tracedst/internal/analysis"
 	"tracedst/internal/cache"
@@ -54,18 +56,43 @@ func (r *Result) notef(format string, args ...interface{}) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// traceT1 runs the SoA program.
-func traceT1() ([]trace.Record, error) {
-	res, err := tracer.Run(workloads.Trans1SoA, map[string]string{"LEN": fmt.Sprint(LenT1)}, tracer.Options{})
+// memoTrace caches one workload's record slice behind a sync.Once, so a
+// full Sweeps()+figures run traces (and transforms) each workload exactly
+// once however many figures share it, including when figures run
+// concurrently. Records are interned against sharedSyms on first
+// resolution; afterwards the slice is immutable and may be shared across
+// goroutines.
+type memoTrace struct {
+	once sync.Once
+	recs []trace.Record
+	err  error
+}
+
+func (m *memoTrace) get(f func() ([]trace.Record, error)) ([]trace.Record, error) {
+	m.once.Do(func() {
+		m.recs, m.err = f()
+		if m.err == nil {
+			trace.InternRecords(sharedSyms, m.recs)
+		}
+	})
+	return m.recs, m.err
+}
+
+var (
+	t1Trace, t2Trace, t3Trace, t2HotTrace memoTrace
+	t1Xform, t2Xform, t3Xform, t2HotXform memoTrace
+)
+
+func runWorkload(src string, defs map[string]string) ([]trace.Record, error) {
+	res, err := tracer.Run(src, defs, tracer.Options{})
 	if err != nil {
 		return nil, err
 	}
 	return res.Records, nil
 }
 
-// transformT1 applies the Listing 5 rule.
-func transformT1(orig []trace.Record) ([]trace.Record, error) {
-	rule, err := rules.Parse(workloads.RuleTrans1ForLen(LenT1))
+func applyRule(ruleSrc string, orig []trace.Record) ([]trace.Record, error) {
+	rule, err := rules.Parse(ruleSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -74,51 +101,81 @@ func transformT1(orig []trace.Record) ([]trace.Record, error) {
 		return nil, err
 	}
 	return eng.TransformAll(orig)
+}
+
+// traceT1 runs the SoA program (memoized).
+func traceT1() ([]trace.Record, error) {
+	return t1Trace.get(func() ([]trace.Record, error) {
+		return runWorkload(workloads.Trans1SoA, map[string]string{"LEN": fmt.Sprint(LenT1)})
+	})
+}
+
+// transformT1 applies the Listing 5 rule to the T1 trace (memoized).
+func transformT1() ([]trace.Record, error) {
+	return t1Xform.get(func() ([]trace.Record, error) {
+		orig, err := traceT1()
+		if err != nil {
+			return nil, err
+		}
+		return applyRule(workloads.RuleTrans1ForLen(LenT1), orig)
+	})
 }
 
 func traceT2() ([]trace.Record, error) {
-	res, err := tracer.Run(workloads.Trans2Inline, map[string]string{"LEN": fmt.Sprint(LenT2)}, tracer.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return res.Records, nil
+	return t2Trace.get(func() ([]trace.Record, error) {
+		return runWorkload(workloads.Trans2Inline, map[string]string{"LEN": fmt.Sprint(LenT2)})
+	})
 }
 
-func transformT2(orig []trace.Record) ([]trace.Record, error) {
-	rule, err := rules.Parse(workloads.RuleTrans2ForLen(LenT2))
-	if err != nil {
-		return nil, err
-	}
-	eng, err := xform.New(xform.Options{}, rule)
-	if err != nil {
-		return nil, err
-	}
-	return eng.TransformAll(orig)
+func transformT2() ([]trace.Record, error) {
+	return t2Xform.get(func() ([]trace.Record, error) {
+		orig, err := traceT2()
+		if err != nil {
+			return nil, err
+		}
+		return applyRule(workloads.RuleTrans2ForLen(LenT2), orig)
+	})
 }
 
 func traceT3() ([]trace.Record, error) {
-	res, err := tracer.Run(workloads.Trans3Contiguous, map[string]string{"LEN": fmt.Sprint(LenT3)}, tracer.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return res.Records, nil
+	return t3Trace.get(func() ([]trace.Record, error) {
+		return runWorkload(workloads.Trans3Contiguous, map[string]string{"LEN": fmt.Sprint(LenT3)})
+	})
 }
 
-func transformT3(orig []trace.Record) ([]trace.Record, error) {
-	rule, err := rules.Parse(workloads.RuleTrans3ForLen(LenT3, 16, 8))
-	if err != nil {
-		return nil, err
-	}
-	eng, err := xform.New(xform.Options{}, rule)
-	if err != nil {
-		return nil, err
-	}
-	return eng.TransformAll(orig)
+func transformT3() ([]trace.Record, error) {
+	return t3Xform.get(func() ([]trace.Record, error) {
+		orig, err := traceT3()
+		if err != nil {
+			return nil, err
+		}
+		return applyRule(workloads.RuleTrans3ForLen(LenT3, 16, 8), orig)
+	})
 }
 
-// simulate runs records through a fresh simulator.
+// hotLoopLen is the T2 hot-loop sweep's element count.
+const hotLoopLen = 128
+
+func traceT2Hot() ([]trace.Record, error) {
+	return t2HotTrace.get(func() ([]trace.Record, error) {
+		return runWorkload(workloads.Trans2HotLoop, map[string]string{"LEN": fmt.Sprint(hotLoopLen)})
+	})
+}
+
+func transformT2Hot() ([]trace.Record, error) {
+	return t2HotXform.get(func() ([]trace.Record, error) {
+		orig, err := traceT2Hot()
+		if err != nil {
+			return nil, err
+		}
+		return applyRule(workloads.RuleTrans2ForLen(hotLoopLen), orig)
+	})
+}
+
+// simulate runs records through a fresh simulator attributing against the
+// shared intern table (the records' ids were issued by it).
 func simulate(recs []trace.Record, cfg cache.Config) (*dinero.Simulator, error) {
-	sim, err := dinero.New(dinero.Options{L1: cfg})
+	sim, err := dinero.New(dinero.Options{L1: cfg, Syms: sharedSyms})
 	if err != nil {
 		return nil, err
 	}
@@ -166,11 +223,7 @@ func Fig3() (*Result, error) {
 
 // Fig4 — the same trace after the SoA→AoS rule (series lAoS and lI).
 func Fig4() (*Result, error) {
-	orig, err := traceT1()
-	if err != nil {
-		return nil, err
-	}
-	recs, err := transformT1(orig)
+	recs, err := transformT1()
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +244,7 @@ func Fig5() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	got, err := transformT1(orig)
+	got, err := transformT1()
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +283,7 @@ func Fig7() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := transformT2(orig)
+	recs, err := transformT2()
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +302,7 @@ func Fig8() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	got, err := transformT2(orig)
+	got, err := transformT2()
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +321,7 @@ func Fig9() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	got, err := transformT3(orig)
+	got, err := transformT3()
 	if err != nil {
 		return nil, err
 	}
@@ -297,11 +350,7 @@ func Fig10() (*Result, error) {
 
 // Fig11 — the strided/pinned sweep on the PowerPC 440 cache.
 func Fig11() (*Result, error) {
-	orig, err := traceT3()
-	if err != nil {
-		return nil, err
-	}
-	recs, err := transformT3(orig)
+	recs, err := transformT3()
 	if err != nil {
 		return nil, err
 	}
@@ -390,15 +439,28 @@ func Run(id string) (*Result, error) {
 	return f()
 }
 
-// All regenerates every figure in order.
+// All regenerates every figure in order, fanning the figures out over the
+// configured worker pool (SetParallelism). Output order and contents are
+// identical to a serial run: workloads are traced once (memoized) and each
+// figure simulates into its own simulator.
 func All() ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		r, err := Run(id)
+	return AllParallel(Parallelism())
+}
+
+// AllParallel is All with an explicit worker count (1 = serial).
+func AllParallel(workers int) ([]*Result, error) {
+	ids := IDs()
+	out := make([]*Result, len(ids))
+	err := forEach(context.Background(), workers, len(ids), func(_ context.Context, i int) error {
+		r, err := Run(ids[i])
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
+			return fmt.Errorf("%s: %w", ids[i], err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"tracedst/internal/trace"
+)
+
+// sharedSyms is the intern table every experiment trace and simulator
+// shares: traces are interned once when memoized, after which record slices
+// are immutable and safe to share across the worker pool, and simulators
+// attribute by integer id without touching strings.
+var sharedSyms = trace.NewSymTab()
+
+var (
+	parMu       sync.Mutex
+	parallelism = runtime.GOMAXPROCS(0)
+)
+
+// SetParallelism sets the worker count Sweeps and All fan out to (values
+// below 1 are clamped to 1, i.e. fully serial) and returns the previous
+// setting. cmd/experiments wires its -parallel flag here.
+func SetParallelism(n int) int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	prev := parallelism
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+	return prev
+}
+
+// Parallelism returns the current worker count (default GOMAXPROCS).
+func Parallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parallelism
+}
+
+// forEach runs f(ctx, i) for every i in [0, n) on a pool of workers,
+// errgroup-style: the first error cancels the context, remaining queued
+// tasks are skipped, and that first error is returned. With one worker it
+// degenerates to a plain serial loop. Tasks must write only to their own
+// slot of any shared output slice; forEach guarantees all writes are
+// visible to the caller when it returns.
+func forEach(ctx context.Context, workers, n int, f func(context.Context, int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain without working after cancellation
+				}
+				if err := f(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var done [50]int32
+		err := forEach(context.Background(), workers, len(done), func(_ context.Context, i int) error {
+			atomic.AddInt32(&done[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range done {
+			if done[i] != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, done[i])
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := forEach(context.Background(), workers, 1000, func(_ context.Context, i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if n := atomic.LoadInt32(&ran); int(n) == 1000 {
+			t.Errorf("workers=%d: cancellation did not skip queued tasks", workers)
+		}
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := forEach(ctx, 4, 10, func(context.Context, int) error { return nil })
+	if err == nil {
+		t.Error("cancelled parent context not reported")
+	}
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	prev := SetParallelism(-3)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("parallelism after SetParallelism(-3) = %d, want 1", got)
+	}
+}
+
+// fingerprintResults renders every observable part of a figure run so the
+// serial and parallel paths can be compared byte-for-byte.
+func fingerprintResults(rs []*Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "== %s | %s | %s | records=%d\n", r.ID, r.Title, r.Cache, r.Records)
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+		if r.Plot != nil {
+			b.WriteString(r.Plot.CSV())
+		}
+		if r.Diff != nil {
+			fmt.Fprintf(&b, "diff: %+v\n", r.Diff.Stats())
+		}
+		if r.Sim != nil {
+			b.WriteString(r.Sim.Report())
+		}
+	}
+	return b.String()
+}
+
+func fingerprintSweeps(ss []*SweepResult) string {
+	var b strings.Builder
+	for _, s := range ss {
+		b.WriteString(s.Table())
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the acceptance gate for the concurrent runner:
+// parallel and serial runs of Sweeps() and the full figure regeneration
+// must produce byte-identical output. Run under -race this also exercises
+// the shared-trace/shared-symtab paths for data races.
+func TestParallelDeterminism(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 4
+	}
+
+	serialSweeps, err := SweepsParallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelSweeps, err := SweepsParallel(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprintSweeps(parallelSweeps), fingerprintSweeps(serialSweeps); got != want {
+		t.Errorf("parallel sweeps differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+
+	serialFigs, err := AllParallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelFigs, err := AllParallel(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprintResults(parallelFigs), fingerprintResults(serialFigs); got != want {
+		t.Errorf("parallel figures differ from serial (lengths %d vs %d)", len(got), len(want))
+	}
+}

@@ -1,15 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"tracedst/internal/cache"
-	"tracedst/internal/rules"
 	"tracedst/internal/trace"
-	"tracedst/internal/tracer"
-	"tracedst/internal/workloads"
-	"tracedst/internal/xform"
 )
 
 // SweepPoint is one cache size of a layout sweep.
@@ -77,120 +74,139 @@ func missesAt(recs []trace.Record, cfg cache.Config) (int64, error) {
 	return sim.L1().Stats().Misses(), nil
 }
 
-// sweep runs orig and xform traces over the default sizes.
-func sweep(id, title string, orig, xform []trace.Record, assoc int) (*SweepResult, error) {
-	s := &SweepResult{
-		ID:       id,
-		Title:    title,
-		Geometry: fmt.Sprintf("32-byte blocks, %d-way, LRU", assoc),
+// sweepSpec declares one layout sweep: which traces to compare, at which
+// sizes, on which geometry. Every (size, side) pair is an independent
+// simulation, which is what the parallel runner fans out.
+type sweepSpec struct {
+	id       string
+	title    string
+	geometry string
+	sizes    []int64
+	config   func(size int64) cache.Config
+	orig     func() ([]trace.Record, error)
+	xform    func() ([]trace.Record, error)
+}
+
+func directMapped(size int64) cache.Config {
+	return cache.Config{Size: size, BlockSize: 32, Assoc: 1}
+}
+
+// sweepSpecs lists all layout sweeps in presentation order.
+func sweepSpecs() []sweepSpec {
+	return []sweepSpec{
+		{
+			id: "sweep-t1", title: "SoA (orig) vs AoS (transformed)",
+			geometry: "32-byte blocks, 1-way, LRU",
+			sizes:    DefaultSweepSizes, config: directMapped,
+			orig: traceT1, xform: transformT1,
+		},
+		{
+			id: "sweep-t2", title: "inline nested (orig) vs outlined (transformed)",
+			geometry: "32-byte blocks, 1-way, LRU",
+			sizes:    DefaultSweepSizes, config: directMapped,
+			orig: traceT2, xform: transformT2,
+		},
+		{
+			id: "sweep-t2-hot", title: "hot-only loop: inline (orig) vs outlined (transformed)",
+			geometry: "32-byte blocks, 1-way, LRU",
+			sizes:    DefaultSweepSizes, config: directMapped,
+			orig: traceT2Hot, xform: transformT2Hot,
+		},
+		{
+			id: "sweep-t3", title: "contiguous (orig) vs set-pinned (transformed)",
+			geometry: "32-byte blocks, 64-way, round-robin",
+			sizes:    []int64{4096, 8192, 16384, 32768, 65536},
+			config: func(size int64) cache.Config {
+				return cache.Config{Size: size, BlockSize: 32, Assoc: 64, Repl: cache.ReplRoundRobin}
+			},
+			orig: traceT3, xform: transformT3,
+		},
 	}
-	for _, size := range DefaultSweepSizes {
-		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: assoc}
-		mo, err := missesAt(orig, cfg)
-		if err != nil {
-			return nil, err
+}
+
+// runSweeps simulates the given specs' sweep points on a worker pool. Each
+// task is one (spec, size, orig-or-xform) simulation against the shared
+// immutable record slices; results land in pre-assigned slots, so the
+// output is byte-identical whatever the worker count.
+func runSweeps(ctx context.Context, specs []sweepSpec, workers int) ([]*SweepResult, error) {
+	out := make([]*SweepResult, len(specs))
+	type task struct{ spec, point, side int }
+	var tasks []task
+	for si, sp := range specs {
+		r := &SweepResult{ID: sp.id, Title: sp.title, Geometry: sp.geometry,
+			Points: make([]SweepPoint, len(sp.sizes))}
+		for pi, size := range sp.sizes {
+			r.Points[pi].CacheBytes = size
+			tasks = append(tasks, task{si, pi, 0}, task{si, pi, 1})
 		}
-		mx, err := missesAt(xform, cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, SweepPoint{CacheBytes: size, MissesOrig: mo, MissesXform: mx})
+		out[si] = r
 	}
-	return s, nil
+	err := forEach(ctx, workers, len(tasks), func(_ context.Context, ti int) error {
+		tk := tasks[ti]
+		sp := specs[tk.spec]
+		recsOf := sp.orig
+		if tk.side == 1 {
+			recsOf = sp.xform
+		}
+		recs, err := recsOf()
+		if err != nil {
+			return err
+		}
+		m, err := missesAt(recs, sp.config(sp.sizes[tk.point]))
+		if err != nil {
+			return err
+		}
+		if tk.side == 0 {
+			out[tk.spec].Points[tk.point].MissesOrig = m
+		} else {
+			out[tk.spec].Points[tk.point].MissesXform = m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func sweepByID(id string) (*SweepResult, error) {
+	for _, sp := range sweepSpecs() {
+		if sp.id == id {
+			out, err := runSweeps(context.Background(), []sweepSpec{sp}, Parallelism())
+			if err != nil {
+				return nil, err
+			}
+			return out[0], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown sweep %q", id)
 }
 
 // SweepT1 sweeps transformation 1 (SoA vs AoS) across cache sizes.
-func SweepT1() (*SweepResult, error) {
-	orig, err := traceT1()
-	if err != nil {
-		return nil, err
-	}
-	xf, err := transformT1(orig)
-	if err != nil {
-		return nil, err
-	}
-	return sweep("sweep-t1", "SoA (orig) vs AoS (transformed)", orig, xf, 1)
-}
+func SweepT1() (*SweepResult, error) { return sweepByID("sweep-t1") }
 
 // SweepT2 sweeps transformation 2 (inline vs outlined) across cache sizes.
-func SweepT2() (*SweepResult, error) {
-	orig, err := traceT2()
-	if err != nil {
-		return nil, err
-	}
-	xf, err := transformT2(orig)
-	if err != nil {
-		return nil, err
-	}
-	return sweep("sweep-t2", "inline nested (orig) vs outlined (transformed)", orig, xf, 1)
-}
+func SweepT2() (*SweepResult, error) { return sweepByID("sweep-t2") }
 
 // SweepT3 sweeps transformation 3 (contiguous vs set-pinned) on a 64-way
 // round-robin geometry scaled down with size.
-func SweepT3() (*SweepResult, error) {
-	orig, err := traceT3()
-	if err != nil {
-		return nil, err
-	}
-	xf, err := transformT3(orig)
-	if err != nil {
-		return nil, err
-	}
-	s := &SweepResult{
-		ID:       "sweep-t3",
-		Title:    "contiguous (orig) vs set-pinned (transformed)",
-		Geometry: "32-byte blocks, 64-way, round-robin",
-	}
-	for _, size := range []int64{4096, 8192, 16384, 32768, 65536} {
-		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: 64, Repl: cache.ReplRoundRobin}
-		mo, err := missesAt(orig, cfg)
-		if err != nil {
-			return nil, err
-		}
-		mx, err := missesAt(xf, cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, SweepPoint{CacheBytes: size, MissesOrig: mo, MissesXform: mx})
-	}
-	return s, nil
-}
+func SweepT3() (*SweepResult, error) { return sweepByID("sweep-t3") }
 
 // SweepT2Hot sweeps transformation 2 under its intended access pattern — a
 // loop touching only the hot member. The full-touch sweeps above honestly
 // show the transformations losing (padding and indirection cost extra
 // blocks when every member is touched once); outlining pays off when the
 // cold members stay cold.
-func SweepT2Hot() (*SweepResult, error) {
-	const n = 128
-	res, err := tracer.Run(workloads.Trans2HotLoop, map[string]string{"LEN": fmt.Sprint(n)}, tracer.Options{})
-	if err != nil {
-		return nil, err
-	}
-	rule, err := rules.Parse(workloads.RuleTrans2ForLen(n))
-	if err != nil {
-		return nil, err
-	}
-	eng, err := xform.New(xform.Options{}, rule)
-	if err != nil {
-		return nil, err
-	}
-	xf, err := eng.TransformAll(res.Records)
-	if err != nil {
-		return nil, err
-	}
-	return sweep("sweep-t2-hot", "hot-only loop: inline (orig) vs outlined (transformed)", res.Records, xf, 1)
+func SweepT2Hot() (*SweepResult, error) { return sweepByID("sweep-t2-hot") }
+
+// Sweeps runs all layout sweeps, fanning the individual simulations out
+// over the configured worker pool (SetParallelism). Each workload is traced
+// and transformed exactly once; results are byte-identical to a serial run.
+func Sweeps() ([]*SweepResult, error) {
+	return SweepsParallel(Parallelism())
 }
 
-// Sweeps runs all layout sweeps.
-func Sweeps() ([]*SweepResult, error) {
-	var out []*SweepResult
-	for _, f := range []func() (*SweepResult, error){SweepT1, SweepT2, SweepT2Hot, SweepT3} {
-		s, err := f()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
+// SweepsParallel is Sweeps with an explicit worker count (1 = serial).
+func SweepsParallel(workers int) ([]*SweepResult, error) {
+	return runSweeps(context.Background(), sweepSpecs(), workers)
 }

@@ -83,6 +83,13 @@ type Record struct {
 	Thread int
 	// Var is the accessed variable: root name plus access path.
 	Var ctype.AccessExpr
+
+	// FuncID and VarID are interned ids for Func and Var.Root, filled by
+	// InternRecords against a SymTab. Zero means "not interned"; VarID is
+	// always zero when HasSym is false. They are derived metadata: String,
+	// Equal and the parsers ignore them.
+	FuncID SymID
+	VarID  SymID
 }
 
 // ScopeCode returns the two-letter scope tag (GV, GS, LV, LS) or "" when the

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSymTabInternStable(t *testing.T) {
+	st := NewSymTab()
+	a := st.Intern("main")
+	b := st.Intern("lSoA")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids = %d, %d", a, b)
+	}
+	if got := st.Intern("main"); got != a {
+		t.Errorf("re-intern main = %d, want %d", got, a)
+	}
+	if st.Name(a) != "main" || st.Name(b) != "lSoA" {
+		t.Errorf("names = %q, %q", st.Name(a), st.Name(b))
+	}
+	if st.Name(0) != "" || st.Name(SymID(99)) != "" {
+		t.Error("out-of-range names not empty")
+	}
+	if st.Len() != 2 {
+		t.Errorf("len = %d", st.Len())
+	}
+	if id, ok := st.Lookup("lSoA"); !ok || id != b {
+		t.Errorf("lookup = %d, %v", id, ok)
+	}
+	if _, ok := st.Lookup("absent"); ok {
+		t.Error("lookup of absent name succeeded")
+	}
+}
+
+func TestSymTabConcurrentIntern(t *testing.T) {
+	st := NewSymTab()
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make([][]SymID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ids[w] = append(ids[w], st.Intern(fmt.Sprintf("sym%d", i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.Len() != 100 {
+		t.Fatalf("len = %d, want 100", st.Len())
+	}
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got id %d for sym%d, worker 0 got %d",
+					w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestInternRecords(t *testing.T) {
+	lines := []string{
+		"L 000601040 4 main GV glScalar",
+		"S 000601040 4 main GV glScalar",
+		"L 7ff000480 8 helper",
+	}
+	recs := make([]Record, len(lines))
+	for i, l := range lines {
+		r, err := ParseRecord(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = r
+	}
+	st := NewSymTab()
+	InternRecords(st, recs)
+	if recs[0].FuncID == 0 || recs[0].FuncID != recs[1].FuncID {
+		t.Errorf("main ids = %d, %d", recs[0].FuncID, recs[1].FuncID)
+	}
+	if recs[0].VarID == 0 || recs[0].VarID != recs[1].VarID {
+		t.Errorf("glScalar ids = %d, %d", recs[0].VarID, recs[1].VarID)
+	}
+	if recs[2].VarID != 0 {
+		t.Errorf("nosym record got VarID %d", recs[2].VarID)
+	}
+	if st.Name(recs[2].FuncID) != "helper" {
+		t.Errorf("helper name = %q", st.Name(recs[2].FuncID))
+	}
+	// Re-interning against another table overwrites stale ids.
+	st2 := NewSymTab()
+	st2.Intern("pad") // shift ids so staleness would show
+	InternRecords(st2, recs)
+	if st2.Name(recs[0].VarID) != "glScalar" {
+		t.Errorf("re-intern: VarID names %q", st2.Name(recs[0].VarID))
+	}
+}
