@@ -30,6 +30,7 @@ func main() {
 	noSym := fs.Bool("nosym", false, "include unannotated records as a (nosym) series")
 	phys := fs.String("phys", "off", "physical indexing: off | seq | shuffled (4 KiB pages)")
 	physSeed := fs.Uint64("phys-seed", 0, "seed for the shuffled frame permutation")
+	tf := cliutil.NewTraceFlags(fs, "dinero")
 	_ = fs.Parse(os.Args[1:])
 
 	if fs.NArg() != 1 {
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	_, recs, err := cliutil.LoadTrace(fs.Arg(0))
+	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
 		fatal(err)
 	}

@@ -39,6 +39,7 @@ func main() {
 	out := fs.String("o", "transformed_trace.out", "output trace file (- for stdout)")
 	shadowAlign := fs.Int64("shadow-align", 0, "override base alignment of relocated structures (0 = automatic)")
 	quiet := fs.Bool("q", false, "suppress the summary line")
+	tf := cliutil.NewTraceFlags(fs, "dsxform")
 	_ = fs.Parse(os.Args[1:])
 
 	if len(files) == 0 || fs.NArg() != 1 {
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	h, recs, err := cliutil.LoadTrace(fs.Arg(0))
+	h, hasHdr, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +70,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := cliutil.WriteTrace(*out, h, outRecs); err != nil {
+	// A headerless input stays headerless, so byte-level round trips
+	// through tracediff keep working.
+	if err := cliutil.WriteTraceOpts(*out, h, hasHdr, outRecs); err != nil {
 		fatal(err)
 	}
 	if !*quiet {

@@ -31,9 +31,11 @@ func main() {
 	diffWidth := fs.Int("diff-width", 52, "diff column width")
 	outdir := fs.String("outdir", "", "also write per-figure CSV/gnuplot/diff files to this directory")
 	par := fs.Int("parallel", runtime.NumCPU(), "worker count for sweeps and -all figure regeneration (1 = serial)")
+	validate := fs.Bool("validate", false, "run every generated trace through the strict validator before use")
 	_ = fs.Parse(os.Args[1:])
 
 	experiments.SetParallelism(*par)
+	experiments.SetValidate(*validate)
 	if *sweeps {
 		ss, err := experiments.Sweeps()
 		if err != nil {

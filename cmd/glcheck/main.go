@@ -1,0 +1,69 @@
+// Command glcheck validates Gleipnir trace files before they are fed to
+// the simulator or the transformation engine: it decodes every line,
+// collecting parse failures instead of stopping at the first, and checks
+// header sanity, address-region plausibility, thread-introduction order
+// and per-symbol consistency.
+//
+// Usage:
+//
+//	glcheck trace.out [more.out ...]
+//	gltrace -w matmul | glcheck -
+//	glcheck -q -max-line-bytes 65536 trace.out
+//
+// Exit status: 0 when every trace passes (warnings allowed), 1 when any
+// trace has error-severity findings, 2 on usage or I/O problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracedst/internal/cliutil"
+	"tracedst/internal/trace"
+)
+
+func main() {
+	fs := flag.NewFlagSet("glcheck", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print only failing traces")
+	werror := fs.Bool("werror", false, "treat warnings as errors")
+	maxDiags := fs.Int("max-diags", 100, "findings to keep per trace (counters keep counting)")
+	maxLine := fs.Int("max-line-bytes", 0, "maximum trace line length in bytes (0 = 1 MiB default)")
+	noRegions := fs.Bool("no-region-checks", false, "skip memmodel address-region checks (traces from real binaries)")
+	_ = fs.Parse(os.Args[1:])
+
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "glcheck: usage: glcheck TRACE [TRACE ...] (- for stdin)")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range fs.Args() {
+		rep, err := checkOne(path, trace.ValidateOptions{
+			MaxDiags:         *maxDiags,
+			MaxLineBytes:     *maxLine,
+			SkipRegionChecks: *noRegions,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "glcheck: %s: %v\n", path, err)
+			exit = 2
+			continue
+		}
+		failed := !rep.OK() || (*werror && rep.Warnings() > 0)
+		if failed && exit == 0 {
+			exit = 1
+		}
+		if failed || !*quiet {
+			fmt.Printf("%s: %s", path, rep.Summary())
+		}
+	}
+	os.Exit(exit)
+}
+
+func checkOne(path string, opts trace.ValidateOptions) (*trace.Report, error) {
+	in, err := cliutil.OpenTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return trace.Validate(in, opts)
+}

@@ -26,13 +26,14 @@ func main() {
 	timeline := fs.Bool("timeline", false, "print the windowed miss-rate timeline")
 	window := fs.Int("window", 256, "timeline window size in records")
 	block := fs.Int64("bsize", 32, "block size for reuse-distance profiling")
+	tf := cliutil.NewTraceFlags(fs, "glprof")
 	_ = fs.Parse(os.Args[1:])
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "glprof: need exactly one trace file argument (- for stdin)")
 		os.Exit(2)
 	}
-	_, recs, err := cliutil.LoadTrace(fs.Arg(0))
+	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
 		fatal(err)
 	}

@@ -25,6 +25,7 @@ func main() {
 	title := fs.String("title", "per-set cache behaviour", "plot title")
 	width := fs.Int("width", 40, "ASCII bar width")
 	noSym := fs.Bool("nosym", false, "include unannotated records as a (nosym) series")
+	tf := cliutil.NewTraceFlags(fs, "setplot")
 	_ = fs.Parse(os.Args[1:])
 
 	if fs.NArg() != 1 {
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	_, recs, err := cliutil.LoadTrace(fs.Arg(0))
+	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
 		fatal(err)
 	}

@@ -22,17 +22,18 @@ func main() {
 	fs := flag.NewFlagSet("tracediff", flag.ExitOnError)
 	width := fs.Int("w", 52, "column width of each side")
 	statsOnly := fs.Bool("stats-only", false, "print only the summary")
+	tf := cliutil.NewTraceFlags(fs, "tracediff")
 	_ = fs.Parse(os.Args[1:])
 
 	if fs.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "tracediff: usage: tracediff ORIGINAL TRANSFORMED")
 		os.Exit(2)
 	}
-	_, a, err := cliutil.LoadTrace(fs.Arg(0))
+	_, _, a, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
 		fatal(err)
 	}
-	_, b, err := cliutil.LoadTrace(fs.Arg(1))
+	_, _, b, err := cliutil.LoadTraceOpts(fs.Arg(1), tf.Options())
 	if err != nil {
 		fatal(err)
 	}

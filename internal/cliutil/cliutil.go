@@ -1,11 +1,12 @@
 // Package cliutil holds the flag plumbing shared by the command-line tools:
-// cache-geometry flags in DineroIV style, repeatable -D macro definitions,
-// and trace-file loading.
+// cache-geometry flags in DineroIV style, trace-decoder robustness flags,
+// repeatable -D macro definitions, and trace-file loading.
 package cliutil
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -126,29 +127,87 @@ func (d Defines) Set(s string) error {
 	return nil
 }
 
-// LoadTrace reads a trace file ("-" means stdin).
-func LoadTrace(path string) (trace.Header, []trace.Record, error) {
-	var rd *trace.Reader
-	if path == "-" {
-		rd = trace.NewReader(os.Stdin)
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return trace.Header{}, nil, err
+// TraceFlags registers the trace-decoder robustness flags shared by every
+// tool that ingests a trace file.
+type TraceFlags struct {
+	lenient *bool
+	maxBad  *int
+	maxLine *int
+	tool    string
+}
+
+// NewTraceFlags registers -lenient, -max-bad-lines and -max-line-bytes on
+// fs. tool names the program in skip messages.
+func NewTraceFlags(fs *flag.FlagSet, tool string) *TraceFlags {
+	return &TraceFlags{
+		tool:    tool,
+		lenient: fs.Bool("lenient", false, "skip malformed trace lines instead of failing on the first"),
+		maxBad:  fs.Int("max-bad-lines", 0, "lenient mode: fail after skipping this many lines (0 = unlimited)"),
+		maxLine: fs.Int("max-line-bytes", 0, "maximum trace line length in bytes (0 = 1 MiB default)"),
+	}
+}
+
+// Options builds the decoder options. In lenient mode every skipped line is
+// reported on stderr as "<tool>: skipping line N: <reason>".
+func (tf *TraceFlags) Options() trace.DecodeOptions {
+	opts := trace.DecodeOptions{MaxLineBytes: *tf.maxLine}
+	if *tf.lenient {
+		opts.Mode = trace.Lenient
+		opts.MaxBadLines = *tf.maxBad
+		tool := tf.tool
+		opts.OnError = func(line int, text string, err error) {
+			fmt.Fprintf(os.Stderr, "%s: skipping line %d: %v\n", tool, line, err)
 		}
-		defer f.Close()
-		rd = trace.NewReader(f)
 	}
-	h, err := rd.Header()
-	if err != nil {
-		return h, nil, err
+	return opts
+}
+
+// nopCloser wraps stdio streams so OpenTrace callers can Close uniformly
+// without closing the process's fds.
+type nopCloser struct{ io.Reader }
+
+func (nopCloser) Close() error { return nil }
+
+// OpenTrace opens a trace file for streaming ("-" means stdin; Close is a
+// no-op for stdin).
+func OpenTrace(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return nopCloser{os.Stdin}, nil
 	}
-	recs, err := rd.ReadAll()
+	return os.Open(path)
+}
+
+// LoadTrace reads a trace file ("-" means stdin) with a strict decoder.
+func LoadTrace(path string) (trace.Header, []trace.Record, error) {
+	h, _, recs, err := LoadTraceOpts(path, trace.DecodeOptions{})
 	return h, recs, err
 }
 
-// WriteTrace writes a trace file ("-" means stdout).
+// LoadTraceOpts reads a trace file ("-" means stdin) with explicit decode
+// options. hasHdr reports whether the input actually began with a START
+// line, so writers can round-trip headerless traces byte-for-byte.
+func LoadTraceOpts(path string, opts trace.DecodeOptions) (h trace.Header, hasHdr bool, recs []trace.Record, err error) {
+	in, err := OpenTrace(path)
+	if err != nil {
+		return trace.Header{}, false, nil, err
+	}
+	defer in.Close()
+	rd := trace.NewReaderOptions(in, opts)
+	if h, err = rd.Header(); err != nil {
+		return h, rd.HasHeader(), nil, err
+	}
+	recs, err = rd.ReadAll()
+	return h, rd.HasHeader(), recs, err
+}
+
+// WriteTrace writes a trace file ("-" means stdout), header included.
 func WriteTrace(path string, h trace.Header, recs []trace.Record) error {
+	return WriteTraceOpts(path, h, true, recs)
+}
+
+// WriteTraceOpts writes a trace file ("-" means stdout), emitting the
+// START line only when hasHdr is true.
+func WriteTraceOpts(path string, h trace.Header, hasHdr bool, recs []trace.Record) error {
 	var out *os.File
 	if path == "-" {
 		out = os.Stdout
@@ -161,8 +220,10 @@ func WriteTrace(path string, h trace.Header, recs []trace.Record) error {
 		out = f
 	}
 	w := trace.NewWriter(out)
-	if err := w.WriteHeader(h); err != nil {
-		return err
+	if hasHdr {
+		if err := w.WriteHeader(h); err != nil {
+			return err
+		}
 	}
 	for i := range recs {
 		if err := w.Write(&recs[i]); err != nil {

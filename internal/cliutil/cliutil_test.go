@@ -166,3 +166,83 @@ func TestCacheFlagsPrefetch(t *testing.T) {
 		t.Error("bad prefetch flag accepted")
 	}
 }
+
+func TestTraceFlagsDefaultsToStrict(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	tf := NewTraceFlags(fs, "tool")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	opts := tf.Options()
+	if opts.Mode != trace.Strict || opts.OnError != nil || opts.MaxBadLines != 0 {
+		t.Errorf("defaults not strict: %+v", opts)
+	}
+}
+
+func TestTraceFlagsLenient(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	tf := NewTraceFlags(fs, "tool")
+	if err := fs.Parse([]string{"-lenient", "-max-bad-lines", "5", "-max-line-bytes", "4096"}); err != nil {
+		t.Fatal(err)
+	}
+	opts := tf.Options()
+	if opts.Mode != trace.Lenient || opts.MaxBadLines != 5 || opts.MaxLineBytes != 4096 {
+		t.Errorf("lenient flags not mapped: %+v", opts)
+	}
+	if opts.OnError == nil {
+		t.Error("lenient mode must report skips")
+	}
+}
+
+func TestLoadTraceOptsHeaderless(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "nohdr.trc")
+	const body = "S 000601040 4 main GV g\n"
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, hasHdr, recs, err := LoadTraceOpts(p, trace.DecodeOptions{})
+	if err != nil || hasHdr || h.PID != 0 || len(recs) != 1 {
+		t.Fatalf("hasHdr=%v h=%v recs=%d err=%v", hasHdr, h, len(recs), err)
+	}
+	// Round trip keeps it headerless.
+	out := filepath.Join(dir, "out.trc")
+	if err := WriteTraceOpts(out, h, hasHdr, recs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != body {
+		t.Errorf("round trip = %q, want %q", b, body)
+	}
+}
+
+func TestLoadTraceOptsLenient(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.trc")
+	src := "START PID 1\nS 000601040 4 main GV g\n@@junk@@\nL 000601040 4 main GV g\n"
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadTraceOpts(p, trace.DecodeOptions{}); err == nil {
+		t.Fatal("strict load accepted junk")
+	}
+	h, hasHdr, recs, err := LoadTraceOpts(p, trace.DecodeOptions{Mode: trace.Lenient})
+	if err != nil || !hasHdr || h.PID != 1 || len(recs) != 2 {
+		t.Fatalf("lenient: hasHdr=%v h=%v recs=%d err=%v", hasHdr, h, len(recs), err)
+	}
+}
+
+func TestOpenTraceStdin(t *testing.T) {
+	rc, err := OpenTrace("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Errorf("stdin Close: %v", err)
+	}
+	if _, err := OpenTrace(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -73,9 +73,41 @@ func (m *memoTrace) get(f func() ([]trace.Record, error)) ([]trace.Record, error
 		m.recs, m.err = f()
 		if m.err == nil {
 			trace.InternRecords(sharedSyms, m.recs)
+			m.err = validateRecords(m.recs)
 		}
 	})
 	return m.recs, m.err
+}
+
+// validateMu guards the self-check toggle set by SetValidate.
+var (
+	validateMu sync.RWMutex
+	validateOn bool
+)
+
+// SetValidate turns on trace self-checking: every generated (and
+// transformed) workload trace is run through the strict validator before
+// use, failing the figure on any error-severity finding. cmd/experiments
+// -validate wires this.
+func SetValidate(on bool) {
+	validateMu.Lock()
+	validateOn = on
+	validateMu.Unlock()
+}
+
+// validateRecords applies the validator when self-checking is enabled.
+func validateRecords(recs []trace.Record) error {
+	validateMu.RLock()
+	on := validateOn
+	validateMu.RUnlock()
+	if !on {
+		return nil
+	}
+	rep := trace.ValidateRecords(trace.Header{}, false, recs)
+	if !rep.OK() {
+		return fmt.Errorf("experiments: generated trace failed validation:\n%s", rep.Summary())
+	}
+	return nil
 }
 
 var (

@@ -1,0 +1,169 @@
+// Package faultinject corrupts Gleipnir trace text in controlled,
+// deterministic ways, so the robustness of the ingestion layer can be
+// exercised end-to-end: strict decoding must fail with a line-numbered
+// error on every corruption class, lenient decoding must skip damage that
+// is confined to whole lines, and glcheck must flag every class.
+//
+// All corruptors are pure string→string functions seeded explicitly;
+// the same (input, seed) pair always yields the same corrupted trace.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Truncate cuts the trace mid-line: it keeps the given fraction of the
+// lines whole, then a short partial of the next line — at most 7 bytes, so
+// the remnant can never form a valid 4-field record. frac is clamped to
+// (0,1].
+func Truncate(src string, frac float64) string {
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	lines := strings.Split(strings.TrimSuffix(src, "\n"), "\n")
+	if len(lines) < 2 {
+		return src[:len(src)/2]
+	}
+	k := int(float64(len(lines)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	if k >= len(lines) {
+		k = len(lines) - 1
+	}
+	partial := lines[k]
+	if partial == "" {
+		partial = "S 00060"
+	}
+	n := len(partial) / 2
+	if n > 7 {
+		n = 7
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strings.Join(lines[:k], "\n") + "\n" + partial[:n]
+}
+
+// BitFlipOps flips the high bit of the opcode byte on n randomly chosen
+// record lines (header excluded), turning them into undecodable garbage
+// while leaving the line structure intact — the classic single-bit media
+// error. The damage is whole-line, so lenient decoding can skip it.
+func BitFlipOps(src string, seed int64, n int) string {
+	rng := rand.New(rand.NewSource(seed))
+	lines := strings.Split(src, "\n")
+	var candidates []int
+	for i, l := range lines {
+		if l != "" && !strings.HasPrefix(l, "START") {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return src
+	}
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	// Flip distinct lines: re-flipping one would restore it.
+	for _, pick := range rng.Perm(len(candidates))[:n] {
+		i := candidates[pick]
+		b := []byte(lines[i])
+		b[0] ^= 0x80
+		lines[i] = string(b)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// InterleaveGarbage inserts an undecodable junk line after every every-th
+// input line. Garbage lines are self-contained, so a lenient decoder that
+// skips them recovers the original record stream exactly.
+func InterleaveGarbage(src string, seed int64, every int) string {
+	if every < 1 {
+		every = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lines := strings.Split(strings.TrimSuffix(src, "\n"), "\n")
+	out := make([]string, 0, len(lines)+len(lines)/every+1)
+	for i, l := range lines {
+		out = append(out, l)
+		if (i+1)%every == 0 {
+			out = append(out, fmt.Sprintf("?? @@GARBAGE %x ~~", rng.Uint32()))
+		}
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+// OversizeLine inserts a single line of length bytes (all 'x') after the
+// first line, exceeding any MaxLineBytes limit below that length.
+func OversizeLine(src string, length int) string {
+	head, tail, found := strings.Cut(src, "\n")
+	long := strings.Repeat("x", length)
+	if !found {
+		return src + "\n" + long + "\n"
+	}
+	return head + "\n" + long + "\n" + tail
+}
+
+// CorruptHeader damages the START line (or prepends a damaged one when the
+// trace is headerless), producing a header that matches the START prefix
+// but fails to parse.
+func CorruptHeader(src string) string {
+	head, tail, found := strings.Cut(src, "\n")
+	if !found || !strings.HasPrefix(head, "START") {
+		return "START PID banana\n" + src
+	}
+	return "START PID banana\n" + tail
+}
+
+// Corruption is one named corruption class for table-driven harnesses.
+type Corruption struct {
+	// Name identifies the class.
+	Name string
+	// Apply corrupts the trace deterministically for the given seed.
+	Apply func(src string, seed int64) string
+	// Skippable reports whether the damage is confined to whole lines, so
+	// lenient decoding recovers every undamaged record.
+	Skippable bool
+	// Lossless reports whether skipping the damaged lines reproduces the
+	// clean record stream exactly (the damage added lines or only hit the
+	// header), so lenient simulation results must match a clean run.
+	Lossless bool
+}
+
+// Classes returns the standard corruption classes driven by the
+// robustness harness. The oversized line is sized past the decoder's
+// default 1 MiB limit.
+func Classes() []Corruption {
+	return []Corruption{
+		{
+			Name:      "truncation",
+			Apply:     func(s string, _ int64) string { return Truncate(s, 0.75) },
+			Skippable: true,
+		},
+		{
+			Name:      "bit-flip",
+			Apply:     func(s string, seed int64) string { return BitFlipOps(s, seed, 3) },
+			Skippable: true,
+		},
+		{
+			Name:      "interleaved-garbage",
+			Apply:     func(s string, seed int64) string { return InterleaveGarbage(s, seed, 7) },
+			Skippable: true,
+			Lossless:  true,
+		},
+		{
+			Name:      "oversized-line",
+			Apply:     func(s string, _ int64) string { return OversizeLine(s, 2<<20) },
+			Skippable: true,
+			Lossless:  true,
+		},
+		{
+			Name:      "corrupt-header",
+			Apply:     func(s string, _ int64) string { return CorruptHeader(s) },
+			Skippable: true,
+			Lossless:  true,
+		},
+	}
+}

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+const clean = `START PID 7
+S 000601040 4 main GV glScalar
+L 000601040 4 main GV glScalar
+S 7ff0001b0 8 main LV 0 1 lcScalar
+L 7ff0001b0 8 main LV 0 1 lcScalar
+M 7ff0001b8 4 main LV 0 1 i
+S 0006010e0 8 foo GS glStructArray[0].d1
+L 0006010e0 8 foo GS glStructArray[0].d1
+X 7ff0001a8 8 foo
+`
+
+func TestCorruptorsAreDeterministic(t *testing.T) {
+	for _, c := range Classes() {
+		a := c.Apply(clean, 99)
+		b := c.Apply(clean, 99)
+		if a != b {
+			t.Errorf("%s: not deterministic for fixed seed", c.Name)
+		}
+		if a == clean {
+			t.Errorf("%s: did not change the trace", c.Name)
+		}
+	}
+}
+
+func TestTruncateLeavesShortPartial(t *testing.T) {
+	out := Truncate(clean, 0.75)
+	lines := strings.Split(out, "\n")
+	last := lines[len(lines)-1]
+	if len(last) == 0 || len(last) > 7 {
+		t.Errorf("partial line %q should be 1..7 bytes", last)
+	}
+	if !strings.HasPrefix(clean, strings.Join(lines[:len(lines)-1], "\n")) {
+		t.Error("kept lines are not a prefix of the input")
+	}
+}
+
+func TestBitFlipOpsDamagesDistinctRecordLines(t *testing.T) {
+	out := BitFlipOps(clean, 3, 3)
+	damaged := 0
+	for i, l := range strings.Split(out, "\n") {
+		if l == "" || strings.HasPrefix(l, "START") {
+			continue
+		}
+		if l[0]&0x80 != 0 {
+			damaged++
+			if orig := strings.Split(clean, "\n")[i]; l[1:] != orig[1:] {
+				t.Errorf("line %d: more than the op byte changed", i+1)
+			}
+		}
+	}
+	if damaged != 3 {
+		t.Errorf("damaged %d lines, want 3", damaged)
+	}
+}
+
+func TestInterleaveGarbageKeepsOriginalLines(t *testing.T) {
+	out := InterleaveGarbage(clean, 5, 2)
+	var kept []string
+	for _, l := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.HasPrefix(l, "?? @@GARBAGE") {
+			kept = append(kept, l)
+		}
+	}
+	want := strings.Split(strings.TrimSuffix(clean, "\n"), "\n")
+	if strings.Join(kept, "\n") != strings.Join(want, "\n") {
+		t.Error("original lines not preserved verbatim")
+	}
+	if out == clean {
+		t.Error("no garbage inserted")
+	}
+}
+
+func TestOversizeLinePlacement(t *testing.T) {
+	out := OversizeLine(clean, 100)
+	lines := strings.Split(out, "\n")
+	if lines[1] != strings.Repeat("x", 100) {
+		t.Errorf("line 2 = %.20q..., want 100 x's", lines[1])
+	}
+	if lines[0] != "START PID 7" || lines[2] != "S 000601040 4 main GV glScalar" {
+		t.Error("surrounding lines disturbed")
+	}
+}
+
+func TestCorruptHeaderKeepsRecords(t *testing.T) {
+	out := CorruptHeader(clean)
+	if !strings.HasPrefix(out, "START") {
+		t.Error("corrupt header should keep the START prefix")
+	}
+	_, tail, _ := strings.Cut(out, "\n")
+	_, cleanTail, _ := strings.Cut(clean, "\n")
+	if tail != cleanTail {
+		t.Error("records disturbed")
+	}
+	// Headerless input gains a corrupt header.
+	out2 := CorruptHeader(cleanTail)
+	if !strings.HasPrefix(out2, "START") || !strings.HasSuffix(out2, cleanTail) {
+		t.Error("headerless case mishandled")
+	}
+}

@@ -1,0 +1,109 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFormula asserts the index-formula parser never panics and that
+// every accepted formula evaluates without panicking across a spread of
+// indices (division by zero must surface as an error, not a crash).
+func FuzzParseFormula(f *testing.F) {
+	seeds := []string{
+		"(lI/8)*(16*8)+(lI%8)",
+		"i",
+		"2+3*4",
+		"-3+i",
+		"100-i-1",
+		"i/0",
+		"i%0",
+		"((((i))))",
+		"i*i*i",
+		"9223372036854775807+i",
+		"",
+		"i i",
+		"(i",
+		"i)",
+		"1//2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseFormula(src)
+		if err != nil {
+			return
+		}
+		for _, i := range []int64{0, 1, 7, 63, -1, 1 << 20} {
+			// Eval errors (division by zero) are fine; panics are not.
+			_, _ = formula.Eval(i)
+		}
+		if formula.Src != strings.TrimSpace(formula.Src) && formula.Src != src {
+			t.Errorf("Src %q not derived from input %q", formula.Src, src)
+		}
+	})
+}
+
+// FuzzParseRule streams arbitrary text through the rule-file parser: it
+// must reject or accept without panicking.
+func FuzzParseRule(f *testing.F) {
+	f.Add("in:\nstruct _t { int x[16]; } lIn;\nout:\nstruct _u { int x[16]; } lOut;\n")
+	f.Add("in:\nout:\n")
+	f.Add("# comment only\n")
+	f.Add("in struct {{{{")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}
+
+// TestParseMalformedRuleFiles pins the error behaviour on a table of
+// damaged rule files: every one must fail cleanly, never panic, and never
+// be silently accepted.
+func TestParseMalformedRuleFiles(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"comment only", "# nothing here\n"},
+		{"in without out", "in:\nstruct _a { int x[16]; } lIn;\n"},
+		{"out without in", "out:\nstruct _a { int x[16]; } lOut;\n"},
+		{"unterminated struct", "in:\nstruct _a { int x[16];\nout:\n"},
+		{"missing semicolon", "in:\nstruct _a { int x[16] } lIn\nout:\nstruct _b { int y[16]; } lOut;\n"},
+		{"bad member type", "in:\nstruct _a { frob x[16]; } lIn;\nout:\nstruct _b { int y[16]; } lOut;\n"},
+		{"stride without formula", "in:\nint lA[16];\nout:\nint lB[16 ()];\n"},
+		{"garbage tokens", "@@ ?? !!\n"},
+		{"truncated mid-decl", "in:\nstruct _a { int"},
+		{"duplicate in section", "in:\nint lA[16];\nin:\nint lB[16];\nout:\nint lC[16];\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Parse(tc.src)
+			if err == nil {
+				t.Errorf("accepted malformed rule file (%T)", r)
+			}
+		})
+	}
+}
+
+// TestParseTruncatedValidRule truncates a known-good rule file at every
+// byte and requires parse to fail or succeed without panicking.
+func TestParseTruncatedValidRule(t *testing.T) {
+	const good = `in:
+struct lSoA {
+	int mX[16];
+	double mY[16];
+};
+out:
+struct lAoS {
+	int mX;
+	double mY;
+}[16];
+`
+	if _, err := Parse(good); err != nil {
+		t.Fatalf("baseline rule invalid: %v", err)
+	}
+	for i := 0; i < len(good); i++ {
+		_, _ = Parse(good[:i])
+	}
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Table tests for the strict/lenient decoder over damaged input: truncated
+// traces, corrupt headers, garbage lines, oversized lines.
+func TestDecodeDamagedTraces(t *testing.T) {
+	cases := []struct {
+		name       string
+		src        string
+		maxLine    int
+		strictErr  string // substring the strict error must contain; "" = no error
+		strictRecs int    // records decoded before the strict error
+		lenRecs    int    // records recovered in lenient mode
+		lenBad     int    // bad lines skipped in lenient mode
+	}{
+		{
+			name:       "clean",
+			src:        "START PID 1\nS 000601040 4 main GV g\nL 000601040 4 main GV g\n",
+			strictRecs: 2, lenRecs: 2,
+		},
+		{
+			name:       "truncated mid-record",
+			src:        "START PID 1\nS 000601040 4 main GV g\nL 0006",
+			strictErr:  "line 3", strictRecs: 1,
+			lenRecs: 1, lenBad: 1,
+		},
+		{
+			name:      "corrupt START line",
+			src:       "START PID banana\nS 000601040 4 main GV g\n",
+			strictErr: "line 1: trace: bad header",
+			lenRecs:   1, lenBad: 1,
+		},
+		{
+			name:      "corrupt START with no records",
+			src:       "START\n",
+			strictErr: "line 1",
+			lenBad:    1,
+		},
+		{
+			name:       "garbage between records",
+			src:        "START PID 1\nS 000601040 4 main GV g\n!!@@ junk\nL 000601040 4 main GV g\n",
+			strictErr:  "line 3", strictRecs: 1,
+			lenRecs: 2, lenBad: 1,
+		},
+		{
+			name:       "oversized line",
+			src:        "START PID 1\nS 000601040 4 main GV g\n" + strings.Repeat("y", 200) + "\nL 000601040 4 main GV g\n",
+			maxLine:    100,
+			strictErr:  "line 3", strictRecs: 1,
+			lenRecs: 2, lenBad: 1,
+		},
+		{
+			name:       "no final newline",
+			src:        "START PID 1\nS 000601040 4 main GV g",
+			strictRecs: 1, lenRecs: 1,
+		},
+		{
+			name:    "only garbage",
+			src:     "##\n%%\n",
+			lenBad:  2,
+			lenRecs: 0, strictErr: "line 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Strict pass.
+			rd := NewReaderOptions(strings.NewReader(tc.src), DecodeOptions{MaxLineBytes: tc.maxLine})
+			recs, err := rd.ReadAll()
+			if tc.strictErr == "" {
+				if err != nil {
+					t.Fatalf("strict: %v", err)
+				}
+			} else {
+				if err == nil || !strings.Contains(err.Error(), tc.strictErr) {
+					t.Fatalf("strict err = %v, want %q", err, tc.strictErr)
+				}
+			}
+			if len(recs) != tc.strictRecs {
+				t.Errorf("strict recs = %d, want %d", len(recs), tc.strictRecs)
+			}
+			// Lenient pass.
+			var calls int
+			rd = NewReaderOptions(strings.NewReader(tc.src), DecodeOptions{
+				Mode:         Lenient,
+				MaxLineBytes: tc.maxLine,
+				OnError:      func(int, string, error) { calls++ },
+			})
+			recs, err = rd.ReadAll()
+			if err != nil {
+				t.Fatalf("lenient: %v", err)
+			}
+			if len(recs) != tc.lenRecs {
+				t.Errorf("lenient recs = %d, want %d", len(recs), tc.lenRecs)
+			}
+			if rd.BadLines() != tc.lenBad || calls != tc.lenBad {
+				t.Errorf("lenient bad = %d (callback %d), want %d", rd.BadLines(), calls, tc.lenBad)
+			}
+		})
+	}
+}
+
+// TestHeaderErrorIsLatched: after Header() reports a corrupt START line,
+// Read must keep failing instead of silently ingesting data records as if
+// the trace were headerless (the old gotHdr bug).
+func TestHeaderErrorIsLatched(t *testing.T) {
+	rd := NewReader(strings.NewReader("START PID banana\nS 000601040 4 main GV g\n"))
+	if _, err := rd.Header(); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+	if _, err := rd.Read(); err == nil {
+		t.Fatal("Read proceeded after header error")
+	}
+	// And the error is the same latched one on every call.
+	_, err1 := rd.Read()
+	_, err2 := rd.Read()
+	if err1 != err2 || err1 == io.EOF {
+		t.Errorf("not latched: %v vs %v", err1, err2)
+	}
+	var ble *BadLineError
+	if !errors.As(err1, &ble) || ble.Line != 1 {
+		t.Errorf("want BadLineError at line 1, got %v", err1)
+	}
+}
+
+// TestHeaderErrorLatchedViaRead: same bug class when Read is the first
+// call (no explicit Header()).
+func TestHeaderErrorLatchedViaRead(t *testing.T) {
+	rd := NewReader(strings.NewReader("START PID banana\nS 000601040 4 main GV g\n"))
+	if _, err := rd.Read(); err == nil {
+		t.Fatal("Read ingested records after corrupt header")
+	}
+}
+
+func TestHasHeader(t *testing.T) {
+	rd := NewReader(strings.NewReader("START PID 9\nS 000601040 4 main GV g\n"))
+	if _, err := rd.Header(); err != nil || !rd.HasHeader() {
+		t.Errorf("HasHeader = %v, err %v", rd.HasHeader(), err)
+	}
+	rd = NewReader(strings.NewReader("S 000601040 4 main GV g\n"))
+	if _, err := rd.Header(); err != nil || rd.HasHeader() {
+		t.Errorf("headerless HasHeader = %v, err %v", rd.HasHeader(), err)
+	}
+}
+
+func TestOnErrorFiresInStrictMode(t *testing.T) {
+	var got []int
+	rd := NewReaderOptions(strings.NewReader("START PID 1\njunk junk\n"), DecodeOptions{
+		OnError: func(line int, text string, err error) { got = append(got, line) },
+	})
+	if _, err := rd.ReadAll(); err == nil {
+		t.Fatal("strict accepted junk")
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("OnError calls = %v, want [2]", got)
+	}
+}
+
+func TestLenientBudgetError(t *testing.T) {
+	src := "S 1 4 f\n##\n##\n##\nS 2 4 f\n"
+	rd := NewReaderOptions(strings.NewReader(src), DecodeOptions{Mode: Lenient, MaxBadLines: 2})
+	recs, err := rd.ReadAll()
+	if err == nil || !strings.Contains(err.Error(), "budget 2 exhausted") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("recs before budget blow = %d, want 1", len(recs))
+	}
+}
+
+func TestWriterRecordsCountsOnlySuccessfulWrites(t *testing.T) {
+	// A writer whose sink fails immediately: with a tiny record repeated,
+	// bufio absorbs some writes, but once WriteString starts failing the
+	// count must stop advancing.
+	fw := &failWriter{n: 0}
+	wr := NewWriter(fw)
+	rec, _ := ParseRecord("S 000601040 4 main GV g")
+	for i := 0; i < 100_000; i++ {
+		if err := wr.Write(&rec); err != nil {
+			break
+		}
+	}
+	// Everything counted must actually have been handed to bufio
+	// successfully; the failed Write must not be included.
+	if wr.Records() >= 100_000 {
+		t.Errorf("Records() = %d counts failed writes", wr.Records())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Strict.String() != "strict" || Lenient.String() != "lenient" {
+		t.Error("mode names wrong")
+	}
+}

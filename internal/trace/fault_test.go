@@ -63,17 +63,26 @@ func TestReaderPropagatesIOErrors(t *testing.T) {
 	if _, err := rd.Read(); err != nil {
 		t.Fatalf("first record: %v", err)
 	}
-	if _, err := rd.Read(); err == nil || err.Error() != "cable pulled" {
+	_, err := rd.Read()
+	if err == nil || !strings.Contains(err.Error(), "cable pulled") {
 		t.Errorf("err = %v", err)
+	}
+	// I/O errors carry the line being read, like parse errors do.
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3 mention", err)
 	}
 }
 
 func TestReaderOverlongLine(t *testing.T) {
-	// Lines beyond the 1 MiB scanner limit must fail cleanly.
+	// Lines beyond the 1 MiB limit must fail cleanly, with line context.
 	long := "S 000601040 4 main GV " + strings.Repeat("x", 2<<20)
 	rd := NewReader(strings.NewReader("START PID 1\n" + long + "\n"))
-	if _, err := rd.Read(); err == nil {
-		t.Error("overlong line accepted")
+	_, err := rd.Read()
+	if err == nil {
+		t.Fatal("overlong line accepted")
+	}
+	if !errors.Is(err, ErrLineTooLong) || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want ErrLineTooLong at line 2", err)
 	}
 }
 

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord asserts the record parser never panics and that every
+// accepted line round-trips: String() re-parses to an Equal record.
+func FuzzParseRecord(f *testing.F) {
+	seeds := []string{
+		"S 000601040 4 main GV glScalar",
+		"L 7ff0001b0 8 main",
+		"S 0006010e0 8 foo GS glStructArray[0].d1",
+		"M 7ff0001b8 4 main LV 0 1 i",
+		"S 7ff0001b0 8 main LS 2 3 lcStrcArray[1].myArray[9]",
+		"X 7ff0001a8 8 foo",
+		"START PID 13063",
+		"S 000601040 4 main GV",
+		"q zz -1 f GV x",
+		"S 000601040 99999999999999999999 main GV g",
+		"",
+		"   ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		again, err2 := ParseRecord(rec.String())
+		if err2 != nil {
+			t.Fatalf("round trip rejected: %q -> %q: %v", line, rec.String(), err2)
+		}
+		if !again.Equal(&rec) {
+			t.Fatalf("round trip changed record: %q -> %q -> %q", line, rec.String(), again.String())
+		}
+	})
+}
+
+// FuzzParseHeader asserts the header parser never panics and accepted
+// headers round-trip.
+func FuzzParseHeader(f *testing.F) {
+	for _, s := range []string{"START PID 13063", "START PID -1", "START", "START PID x", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		h, err := ParseHeader(line)
+		if err != nil {
+			return
+		}
+		if _, err2 := ParseHeader(h.String()); err2 != nil {
+			t.Fatalf("round trip rejected: %q -> %q: %v", line, h.String(), err2)
+		}
+	})
+}
+
+// FuzzReader streams arbitrary bytes through both decoder modes: neither
+// may panic, strict must stop at the first bad line, and lenient with an
+// unlimited budget must always reach EOF.
+func FuzzReader(f *testing.F) {
+	f.Add("START PID 1\nS 000601040 4 main GV glScalar\n")
+	f.Add("\x00\xff\nS 000601040 4\n\n")
+	f.Add("START PID banana\nL 7ff0001b0 8 main\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		strictRecs, _ := NewReader(strings.NewReader(src)).ReadAll()
+		rd := NewReaderOptions(strings.NewReader(src), DecodeOptions{Mode: Lenient})
+		lenRecs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("lenient decode with unlimited budget failed: %v", err)
+		}
+		if len(lenRecs) < len(strictRecs) {
+			t.Fatalf("lenient recovered %d records, strict %d", len(lenRecs), len(strictRecs))
+		}
+	})
+}

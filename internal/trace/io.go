@@ -7,23 +7,28 @@ import (
 	"strings"
 )
 
-// Reader streams records from a Gleipnir trace file.
+// Reader streams records from a Gleipnir trace file. Its tolerance for
+// malformed input is set by DecodeOptions; see NewReaderOptions.
 type Reader struct {
-	sc         *bufio.Scanner
+	br         *bufio.Reader
+	opts       DecodeOptions
 	header     Header
 	gotHdr     bool
+	hasHdr     bool   // input actually began with a START line
 	pending    string // non-header first line peeked while looking for START
 	hasPending bool
 	line       int
+	bad        int
 	err        error
 }
 
-// NewReader returns a Reader over r. The header, if present, is consumed
-// lazily on the first Read/Header call. Lines are limited to 1 MiB.
-func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	return &Reader{sc: sc}
+// NewReader returns a strict Reader over r with default limits. The header,
+// if present, is consumed lazily on the first Read/Header call.
+func NewReader(r io.Reader) *Reader { return NewReaderOptions(r, DecodeOptions{}) }
+
+// NewReaderOptions returns a Reader with explicit decode options.
+func NewReaderOptions(r io.Reader, opts DecodeOptions) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64*1024), opts: opts}
 }
 
 // Header returns the trace header. If the stream has no START line the
@@ -35,33 +40,130 @@ func (rd *Reader) Header() (Header, error) {
 	return rd.header, nil
 }
 
+// HasHeader reports whether the input actually contained a START line. It
+// is meaningful once Header (or the first Read) has been called.
+func (rd *Reader) HasHeader() bool { return rd.hasHdr }
+
+// Line returns the number of input lines consumed so far.
+func (rd *Reader) Line() int { return rd.line }
+
+// BadLines returns the number of malformed lines skipped in lenient mode.
+func (rd *Reader) BadLines() int { return rd.bad }
+
+// readLine returns the next input line without its terminator, counting it
+// in rd.line. It returns io.EOF at end of input, a *BadLineError for a line
+// over the length limit (whose bytes are fully consumed, so the stream
+// remains usable), or a line-annotated I/O error.
+func (rd *Reader) readLine() (string, error) {
+	max := rd.opts.maxLine()
+	var buf []byte
+	overflow := false
+	for {
+		frag, err := rd.br.ReadSlice('\n')
+		if len(frag) > 0 && !overflow {
+			if len(buf)+len(frag) > max+1 { // +1 for the newline itself
+				overflow = true
+				buf = nil
+			} else {
+				buf = append(buf, frag...)
+			}
+		}
+		switch err {
+		case nil:
+			rd.line++
+			if overflow {
+				return "", &BadLineError{Line: rd.line, Err: ErrLineTooLong}
+			}
+			return strings.TrimSuffix(string(buf), "\n"), nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) == 0 && !overflow {
+				return "", io.EOF
+			}
+			// Final line without a trailing newline.
+			rd.line++
+			if overflow {
+				return "", &BadLineError{Line: rd.line, Err: ErrLineTooLong}
+			}
+			return string(buf), nil
+		default:
+			return "", fmt.Errorf("line %d: %w", rd.line+1, err)
+		}
+	}
+}
+
+// skipBad decides what to do with a malformed line: in lenient mode within
+// budget it reports the line through OnError and returns ok=true ("keep
+// going"); otherwise it returns the error to latch. OnError fires in both
+// modes.
+func (rd *Reader) skipBad(ble *BadLineError) (bool, error) {
+	if rd.opts.OnError != nil {
+		rd.opts.OnError(ble.Line, ble.Text, ble.Err)
+	}
+	if rd.opts.Mode != Lenient {
+		return false, ble
+	}
+	rd.bad++
+	if rd.opts.MaxBadLines > 0 && rd.bad > rd.opts.MaxBadLines {
+		return false, fmt.Errorf("%w (bad-line budget %d exhausted)", ble, rd.opts.MaxBadLines)
+	}
+	return true, nil
+}
+
+// ensureHeader consumes the optional START line. A malformed header or an
+// unreadable first line latches rd.err so later Reads fail loudly instead
+// of silently treating the trace as headerless.
 func (rd *Reader) ensureHeader() error {
 	if rd.gotHdr {
+		if rd.err != nil && rd.err != io.EOF {
+			return rd.err
+		}
 		return nil
 	}
 	rd.gotHdr = true
-	for rd.sc.Scan() {
-		rd.line++
-		text := strings.TrimSpace(rd.sc.Text())
+	for {
+		text, err := rd.readLine()
+		if err == io.EOF {
+			return io.EOF
+		}
+		if err != nil {
+			if ble, ok := err.(*BadLineError); ok {
+				if ok2, lerr := rd.skipBad(ble); ok2 {
+					continue
+				} else {
+					rd.err = lerr
+					return rd.err
+				}
+			}
+			rd.err = err
+			return rd.err
+		}
+		text = strings.TrimSpace(text)
 		if text == "" {
 			continue
 		}
 		if strings.HasPrefix(text, "START") {
-			h, err := ParseHeader(text)
-			if err != nil {
-				return err
+			h, herr := ParseHeader(text)
+			if herr != nil {
+				ble := &BadLineError{Line: rd.line, Text: text, Err: herr}
+				if ok, lerr := rd.skipBad(ble); ok {
+					// Lenient: drop the corrupt header line and treat the
+					// trace as headerless.
+					return nil
+				} else {
+					rd.err = lerr
+					return rd.err
+				}
 			}
 			rd.header = h
+			rd.hasHdr = true
 			return nil
 		}
 		rd.pending = text
 		rd.hasPending = true
 		return nil
 	}
-	if err := rd.sc.Err(); err != nil {
-		return err
-	}
-	return io.EOF
 }
 
 // Read returns the next record, or io.EOF at end of stream.
@@ -73,34 +175,47 @@ func (rd *Reader) Read() (Record, error) {
 		rd.err = err
 		return Record{}, err
 	}
-	if rd.hasPending {
-		rd.hasPending = false
-		rec, err := ParseRecord(rd.pending)
-		if err != nil {
-			rd.err = fmt.Errorf("line %d: %w", rd.line, err)
-			return Record{}, rd.err
+	for {
+		var text string
+		if rd.hasPending {
+			text = rd.pending
+			rd.hasPending = false
+		} else {
+			var err error
+			text, err = rd.readLine()
+			if err == io.EOF {
+				rd.err = io.EOF
+				return Record{}, rd.err
+			}
+			if err != nil {
+				if ble, ok := err.(*BadLineError); ok {
+					if ok2, lerr := rd.skipBad(ble); ok2 {
+						continue
+					} else {
+						rd.err = lerr
+						return Record{}, rd.err
+					}
+				}
+				rd.err = err
+				return Record{}, rd.err
+			}
+			text = strings.TrimSpace(text)
+			if text == "" {
+				continue
+			}
+		}
+		rec, perr := ParseRecord(text)
+		if perr != nil {
+			ble := &BadLineError{Line: rd.line, Text: text, Err: perr}
+			if ok, lerr := rd.skipBad(ble); ok {
+				continue
+			} else {
+				rd.err = lerr
+				return Record{}, rd.err
+			}
 		}
 		return rec, nil
 	}
-	for rd.sc.Scan() {
-		rd.line++
-		text := strings.TrimSpace(rd.sc.Text())
-		if text == "" {
-			continue
-		}
-		rec, err := ParseRecord(text)
-		if err != nil {
-			rd.err = fmt.Errorf("line %d: %w", rd.line, err)
-			return Record{}, rd.err
-		}
-		return rec, nil
-	}
-	if err := rd.sc.Err(); err != nil {
-		rd.err = err
-	} else {
-		rd.err = io.EOF
-	}
-	return Record{}, rd.err
 }
 
 // ReadAll reads the remaining records into a slice.
@@ -145,18 +260,20 @@ func (wr *Writer) WriteHeader(h Header) error {
 
 // Write appends one record.
 func (wr *Writer) Write(r *Record) error {
-	wr.recsSoFar++
 	var b strings.Builder
 	r.appendTo(&b)
 	b.WriteByte('\n')
-	_, err := wr.bw.WriteString(b.String())
-	return err
+	if _, err := wr.bw.WriteString(b.String()); err != nil {
+		return err
+	}
+	wr.recsSoFar++
+	return nil
 }
 
 // Flush flushes buffered output.
 func (wr *Writer) Flush() error { return wr.bw.Flush() }
 
-// Records written so far.
+// Records returns the number of records successfully written so far.
 func (wr *Writer) Records() int { return wr.recsSoFar }
 
 // ParseAll parses a whole trace held in a string, returning header and

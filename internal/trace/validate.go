@@ -1,0 +1,358 @@
+// Streaming trace validation: the engine behind cmd/glcheck. A Validator
+// decodes a trace leniently, collecting every decode failure instead of
+// stopping at the first, and layers semantic checks on top: header sanity,
+// address-region plausibility against the memmodel layout, monotonic
+// thread introduction, and per-symbol referential consistency. The result
+// is a structured Report suitable for both CLI output and tests.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tracedst/internal/memmodel"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities. Errors fail validation (glcheck exits non-zero); warnings
+// flag suspicious but survivable input.
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// Diagnostic codes emitted by the validator.
+const (
+	CodeParse    = "parse"     // line failed to decode as a record
+	CodeHeader   = "header"    // START line problems (corrupt, duplicate, bad PID)
+	CodeLineLen  = "line-len"  // line over the length limit
+	CodeRegion   = "region"    // address outside / straddling memmodel regions
+	CodeOrder    = "order"     // non-monotonic thread introduction, bad frame depth
+	CodeSymRef   = "symref"    // symbol-table referential integrity
+	CodeNoHeader = "no-header" // trace has no START line at all
+)
+
+// Diag is one validator finding.
+type Diag struct {
+	Line int // 1-based input line, 0 when not line-specific
+	Sev  Severity
+	Code string
+	Msg  string
+}
+
+// String formats the finding for terminal output.
+func (d Diag) String() string {
+	if d.Line > 0 {
+		return fmt.Sprintf("%s: line %d: [%s] %s", d.Sev, d.Line, d.Code, d.Msg)
+	}
+	return fmt.Sprintf("%s: [%s] %s", d.Sev, d.Code, d.Msg)
+}
+
+// Report is the structured outcome of validating one trace.
+type Report struct {
+	// Records is the count of well-formed records seen.
+	Records int
+	// BadLines is the count of undecodable lines.
+	BadLines int
+	// HasHeader reports whether a valid START line was present.
+	HasHeader bool
+	// Header is the parsed header (zero when HasHeader is false).
+	Header Header
+	// Diags holds the findings, in input order, capped at the configured
+	// maximum; Dropped counts findings beyond the cap.
+	Diags   []Diag
+	Dropped int
+
+	errors, warnings int
+	max              int
+}
+
+// Errors returns the number of error-severity findings (including dropped).
+func (r *Report) Errors() int { return r.errors }
+
+// Warnings returns the number of warning-severity findings (including dropped).
+func (r *Report) Warnings() int { return r.warnings }
+
+// OK reports whether the trace passed: no error-severity findings.
+func (r *Report) OK() bool { return r.errors == 0 }
+
+func (r *Report) add(line int, sev Severity, code, format string, args ...any) {
+	if sev == SevError {
+		r.errors++
+	} else {
+		r.warnings++
+	}
+	if r.max > 0 && len(r.Diags) >= r.max {
+		r.Dropped++
+		return
+	}
+	r.Diags = append(r.Diags, Diag{Line: line, Sev: sev, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Summary renders the report for humans: one status line, then findings.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	hdr := "no header"
+	if r.HasHeader {
+		hdr = fmt.Sprintf("PID %d", r.Header.PID)
+	}
+	status := "ok"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "%s: %d records, %d bad lines, %s — %d errors, %d warnings\n",
+		status, r.Records, r.BadLines, hdr, r.errors, r.warnings)
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  ... and %d more findings\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// ValidateOptions tune a validation pass.
+type ValidateOptions struct {
+	// MaxLineBytes is passed to the decoder (0 = DefaultMaxLineBytes).
+	MaxLineBytes int
+	// MaxDiags caps the findings kept in the report (0 = 100). Counters
+	// keep counting past the cap.
+	MaxDiags int
+	// SkipRegionChecks disables the memmodel address-region checks, for
+	// traces captured from real binaries whose layout differs from the
+	// paper's model.
+	SkipRegionChecks bool
+}
+
+// synthLimit bounds the address window the transformation engine uses for
+// injected synthetic scalars (xform.Engine.synthNext starts just above
+// StackTop); accesses there are flagged as warnings, not errors, so that
+// transformed traces still validate.
+const synthLimit = memmodel.StackTop + 1<<16
+
+// Validate streams the trace from r through the decoder and semantic
+// checks. The returned error is non-nil only for I/O failures or a blown
+// bad-line budget — format problems land in the Report instead.
+func Validate(r io.Reader, opts ValidateOptions) (*Report, error) {
+	rep := &Report{max: opts.MaxDiags}
+	if rep.max == 0 {
+		rep.max = 100
+	}
+	sawBadHeader := false
+	dec := DecodeOptions{
+		Mode:         Lenient,
+		MaxLineBytes: opts.MaxLineBytes,
+		OnError: func(line int, text string, err error) {
+			switch {
+			case err == ErrLineTooLong:
+				rep.add(line, SevError, CodeLineLen, "%v", err)
+			case strings.HasPrefix(text, "START"):
+				sawBadHeader = true
+				if _, herr := ParseHeader(text); herr == nil {
+					rep.add(line, SevError, CodeHeader, "misplaced START header mid-stream")
+				} else {
+					rep.add(line, SevError, CodeHeader, "corrupt START line %q", text)
+				}
+			default:
+				rep.add(line, SevError, CodeParse, "%v (%.60q)", err, text)
+			}
+		},
+	}
+	rd := NewReaderOptions(r, dec)
+	h, err := rd.Header()
+	if err != nil && err != io.EOF {
+		return rep, err
+	}
+	rep.Header, rep.HasHeader = h, rd.HasHeader()
+	v := newRecordChecker(rep)
+	if rep.HasHeader {
+		v.checkHeader(rd.Line(), h)
+	}
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rep, err
+		}
+		rep.Records++
+		v.check(rd.Line(), &rec, opts.SkipRegionChecks)
+	}
+	rep.BadLines = rd.BadLines()
+	// A corrupt START already produced a header finding; only flag traces
+	// that never attempted a header at all.
+	if !rep.HasHeader && !sawBadHeader && rep.Records > 0 {
+		rep.add(0, SevWarn, CodeNoHeader, "trace has no START header")
+	}
+	v.finish()
+	return rep, nil
+}
+
+// ValidateRecords runs the semantic checks over an already-decoded record
+// slice — the in-process entry used by cmd/experiments to self-check
+// generated traces. Line numbers in findings are record indices (1-based).
+func ValidateRecords(h Header, hasHdr bool, recs []Record) *Report {
+	rep := &Report{max: 100, Records: len(recs), Header: h, HasHeader: hasHdr}
+	v := newRecordChecker(rep)
+	if hasHdr {
+		v.checkHeader(1, h)
+	}
+	for i := range recs {
+		v.check(i+1, &recs[i], false)
+	}
+	v.finish()
+	return rep
+}
+
+// symInfo tracks how a root symbol has been used, for referential checks.
+type symInfo struct {
+	line      int // first sighting
+	vis       Visibility
+	aggregate bool
+	scalar    bool // seen without an access path
+	mixed     bool // scalar/aggregate mix already reported
+}
+
+// recordChecker holds the running state of the semantic checks.
+type recordChecker struct {
+	rep       *Report
+	syms      map[string]*symInfo
+	maxThread int
+}
+
+func newRecordChecker(rep *Report) *recordChecker {
+	return &recordChecker{rep: rep, syms: make(map[string]*symInfo)}
+}
+
+// checkHeader validates a START line's content. Duplicate mid-stream
+// START lines never reach here: the decoder rejects them as records and
+// the OnError hook reports them as misplaced headers.
+func (v *recordChecker) checkHeader(line int, h Header) {
+	if h.PID <= 0 {
+		v.rep.add(line, SevWarn, CodeHeader, "implausible PID %d in START header", h.PID)
+	}
+}
+
+// check runs the per-record semantic checks.
+func (v *recordChecker) check(line int, r *Record, skipRegions bool) {
+	if !skipRegions {
+		v.checkRegions(line, r)
+	}
+	v.checkOrder(line, r)
+	v.checkSymRef(line, r)
+}
+
+// checkRegions verifies address plausibility against the memmodel layout:
+// every access must land in a known region, not straddle a region
+// boundary, and match its symbol's storage class.
+func (v *recordChecker) checkRegions(line int, r *Record) {
+	region := memmodel.RegionOf(r.Addr)
+	if region == "unmapped" {
+		if r.Addr >= memmodel.StackTop && r.End() <= synthLimit {
+			v.rep.add(line, SevWarn, CodeRegion,
+				"address %09x in the synthetic injected-variable window", r.Addr)
+			return
+		}
+		v.rep.add(line, SevError, CodeRegion,
+			"address %09x outside the data/heap/stack regions", r.Addr)
+		return
+	}
+	if r.Size > 0 {
+		if end := memmodel.RegionOf(r.End() - 1); end != region {
+			v.rep.add(line, SevError, CodeRegion,
+				"%d-byte access at %09x straddles the %s/%s region boundary",
+				r.Size, r.Addr, region, end)
+			return
+		}
+	}
+	if !r.HasSym {
+		return
+	}
+	switch {
+	case r.Vis == Global && region == "stack":
+		v.rep.add(line, SevWarn, CodeRegion,
+			"global %s accessed at stack address %09x", r.Var.Root, r.Addr)
+	case r.Vis == Local && region != "stack":
+		v.rep.add(line, SevWarn, CodeRegion,
+			"local %s accessed at %s address %09x", r.Var.Root, region, r.Addr)
+	}
+}
+
+// checkOrder enforces the trace's ordering invariants: frame distances are
+// non-negative and thread ids are introduced monotonically starting at 1
+// (Gleipnir numbers threads 1, 2, ... in order of first access).
+func (v *recordChecker) checkOrder(line int, r *Record) {
+	if !r.HasSym || r.Vis != Local {
+		return
+	}
+	if r.Frame < 0 {
+		v.rep.add(line, SevError, CodeOrder, "negative frame distance %d for %s", r.Frame, r.Var.Root)
+	}
+	switch {
+	case r.Thread < 1:
+		v.rep.add(line, SevError, CodeOrder, "thread id %d below 1 for %s", r.Thread, r.Var.Root)
+	case r.Thread > v.maxThread+1:
+		v.rep.add(line, SevError, CodeOrder,
+			"thread %d introduced out of order (highest so far %d)", r.Thread, v.maxThread)
+		v.maxThread = r.Thread
+	case r.Thread == v.maxThread+1:
+		v.maxThread = r.Thread
+	}
+}
+
+// checkSymRef enforces per-symbol consistency: a root variable keeps one
+// storage class for the whole trace, and its scope tag agrees with the
+// presence of an access path.
+func (v *recordChecker) checkSymRef(line int, r *Record) {
+	if !r.HasSym {
+		return
+	}
+	if r.Aggregate && len(r.Var.Path) == 0 {
+		v.rep.add(line, SevWarn, CodeSymRef,
+			"aggregate scope %s for %s without an access path", r.ScopeCode(), r.Var.Root)
+	}
+	if !r.Aggregate && len(r.Var.Path) > 0 {
+		v.rep.add(line, SevWarn, CodeSymRef,
+			"scalar scope %s for %s with access path %s", r.ScopeCode(), r.Var.Root, r.Var)
+	}
+	info, ok := v.syms[r.Var.Root]
+	if !ok {
+		v.syms[r.Var.Root] = &symInfo{
+			line: line, vis: r.Vis, aggregate: r.Aggregate, scalar: !r.Aggregate,
+		}
+		return
+	}
+	if info.vis != r.Vis {
+		v.rep.add(line, SevError, CodeSymRef,
+			"%s seen as both %c and %c scope (first at line %d)",
+			r.Var.Root, byte(info.vis), byte(r.Vis), info.line)
+		return
+	}
+	if r.Aggregate {
+		info.aggregate = true
+	} else {
+		info.scalar = true
+	}
+	if info.aggregate && info.scalar && !info.mixed {
+		v.rep.add(line, SevWarn, CodeSymRef,
+			"%s accessed both as scalar and as aggregate (first at line %d)",
+			r.Var.Root, info.line)
+		info.mixed = true
+	}
+}
+
+// finish runs end-of-trace checks (none yet beyond counters; kept as the
+// hook for stream-level invariants).
+func (v *recordChecker) finish() {}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTrace = `START PID 13063
+S 7ff0001b0 8 main LV 0 1 _zzq_result
+L 7ff0001b0 8 main
+S 000601040 4 main GV glScalar
+S 7ff0001bc 4 main LV 0 1 lcScalar
+S 0006010e0 8 foo GS glStructArray[0].d1
+M 7ff0001b8 4 main LV 0 1 i
+`
+
+func validateString(t *testing.T, src string, opts ValidateOptions) *Report {
+	t.Helper()
+	rep, err := Validate(strings.NewReader(src), opts)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return rep
+}
+
+func TestValidateCleanTrace(t *testing.T) {
+	rep := validateString(t, validTrace, ValidateOptions{})
+	if !rep.OK() || rep.Warnings() != 0 {
+		t.Fatalf("clean trace: %s", rep.Summary())
+	}
+	if rep.Records != 6 || rep.BadLines != 0 || !rep.HasHeader || rep.Header.PID != 13063 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !strings.HasPrefix(rep.Summary(), "ok: 6 records") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+// diagCodes collects the codes of all findings.
+func diagCodes(rep *Report) map[string]int {
+	m := map[string]int{}
+	for _, d := range rep.Diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+func TestValidateFindings(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantCode string
+		wantErrs int
+		wantWarn int
+	}{
+		{
+			name:     "parse failure",
+			src:      "START PID 1\njunk line\n",
+			wantCode: CodeParse, wantErrs: 1,
+		},
+		{
+			name:     "corrupt header",
+			src:      "START PID banana\nS 000601040 4 main GV g\n",
+			wantCode: CodeHeader, wantErrs: 1,
+		},
+		{
+			name:     "duplicate header",
+			src:      "START PID 1\nS 000601040 4 main GV g\nSTART PID 2\n",
+			wantCode: CodeHeader, wantErrs: 1, // flagged as a misplaced mid-stream START
+		},
+		{
+			name:     "no header",
+			src:      "S 000601040 4 main GV g\n",
+			wantCode: CodeNoHeader, wantWarn: 1,
+		},
+		{
+			name:     "implausible pid",
+			src:      "START PID 0\nS 000601040 4 main GV g\n",
+			wantCode: CodeHeader, wantWarn: 1,
+		},
+		{
+			name:     "unmapped address",
+			src:      "START PID 1\nS 900000000 4 main GV g\n",
+			wantCode: CodeRegion, wantErrs: 1,
+		},
+		{
+			name:     "region straddle",
+			src:      "START PID 1\nS 0009fffff 8 main GV g\n",
+			wantCode: CodeRegion, wantErrs: 1,
+		},
+		{
+			name:     "global at stack address",
+			src:      "START PID 1\nS 7ff0001b0 4 main GV g\n",
+			wantCode: CodeRegion, wantWarn: 1,
+		},
+		{
+			name:     "local at data address",
+			src:      "START PID 1\nS 000601040 4 main LV 0 1 x\n",
+			wantCode: CodeRegion, wantWarn: 1,
+		},
+		{
+			name:     "thread out of order",
+			src:      "START PID 1\nS 7ff0001b0 4 main LV 0 3 x\n",
+			wantCode: CodeOrder, wantErrs: 1,
+		},
+		{
+			name:     "negative frame",
+			src:      "START PID 1\nS 7ff0001b0 4 main LV -1 1 x\n",
+			wantCode: CodeOrder, wantErrs: 1,
+		},
+		{
+			name:     "visibility conflict",
+			src:      "START PID 1\nS 000601040 4 main GV g\nS 7ff0001b0 4 main LV 0 1 g\n",
+			wantCode: CodeSymRef, wantErrs: 1,
+		},
+		{
+			name:     "scalar-aggregate mix",
+			src:      "START PID 1\nS 000601040 4 main GV g\nS 000601044 4 main GS g.x\n",
+			wantCode: CodeSymRef, wantWarn: 1,
+		},
+		{
+			name:     "aggregate scope without path",
+			src:      "START PID 1\nS 000601040 4 main GS g\n",
+			wantCode: CodeSymRef, wantWarn: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := validateString(t, tc.src, ValidateOptions{})
+			if got := diagCodes(rep); got[tc.wantCode] == 0 {
+				t.Errorf("no %s finding; got %v\n%s", tc.wantCode, got, rep.Summary())
+			}
+			if rep.Errors() != tc.wantErrs {
+				t.Errorf("errors = %d, want %d\n%s", rep.Errors(), tc.wantErrs, rep.Summary())
+			}
+			if rep.Warnings() != tc.wantWarn {
+				t.Errorf("warnings = %d, want %d\n%s", rep.Warnings(), tc.wantWarn, rep.Summary())
+			}
+		})
+	}
+}
+
+func TestValidateThreadMonotonicIntroduction(t *testing.T) {
+	// 1, 2, then 2 and 1 again: all fine. A jump to 4 is not.
+	good := "START PID 1\n" +
+		"S 7ff0001b0 4 main LV 0 1 x\n" +
+		"S 7ff0001b4 4 main LV 0 2 x\n" +
+		"S 7ff0001b0 4 main LV 0 2 x\n" +
+		"S 7ff0001b4 4 main LV 0 1 x\n"
+	if rep := validateString(t, good, ValidateOptions{}); !rep.OK() {
+		t.Errorf("interleaved threads flagged: %s", rep.Summary())
+	}
+	bad := good + "S 7ff0001b0 4 main LV 0 4 x\n"
+	rep := validateString(t, bad, ValidateOptions{})
+	if rep.OK() || diagCodes(rep)[CodeOrder] == 0 {
+		t.Errorf("thread jump not flagged: %s", rep.Summary())
+	}
+}
+
+func TestValidateSyntheticWindowIsWarning(t *testing.T) {
+	// Addresses just above StackTop are the transformation engine's
+	// synthetic injected-variable window: suspicious, not fatal.
+	src := "START PID 1\nL 7ff000510 4 main GV ITEMSPERLINE\n"
+	rep := validateString(t, src, ValidateOptions{})
+	if !rep.OK() {
+		t.Errorf("synthetic window treated as error: %s", rep.Summary())
+	}
+	if rep.Warnings() == 0 {
+		t.Error("synthetic window not flagged at all")
+	}
+}
+
+func TestValidateSkipRegionChecks(t *testing.T) {
+	src := "START PID 1\nS 900000000 4 main GV g\n"
+	rep := validateString(t, src, ValidateOptions{SkipRegionChecks: true})
+	if !rep.OK() || rep.Warnings() != 0 {
+		t.Errorf("region checks not skipped: %s", rep.Summary())
+	}
+}
+
+func TestValidateDiagCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("START PID 1\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("junk\n")
+	}
+	rep := validateString(t, b.String(), ValidateOptions{MaxDiags: 3})
+	if len(rep.Diags) != 3 || rep.Dropped != 7 {
+		t.Errorf("kept %d dropped %d, want 3/7", len(rep.Diags), rep.Dropped)
+	}
+	if rep.Errors() != 10 {
+		t.Errorf("errors = %d, want 10 (counted past cap)", rep.Errors())
+	}
+	if !strings.Contains(rep.Summary(), "7 more findings") {
+		t.Errorf("summary lacks drop note: %q", rep.Summary())
+	}
+}
+
+func TestValidateRecordsInProcess(t *testing.T) {
+	_, recs, err := ParseAll(validTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ValidateRecords(Header{PID: 13063}, true, recs)
+	if !rep.OK() || rep.Warnings() != 0 || rep.Records != len(recs) {
+		t.Errorf("in-process validation: %s", rep.Summary())
+	}
+	// Damage one record: global relocated to an unmapped address.
+	recs[2].Addr = 0x900000000
+	rep = ValidateRecords(Header{PID: 13063}, true, recs)
+	if rep.OK() {
+		t.Error("unmapped address not flagged")
+	}
+}

@@ -167,8 +167,12 @@ func (e *Engine) Run(rd *trace.Reader, wr *trace.Writer) error {
 	if err != nil && err != io.EOF {
 		return err
 	}
-	if err := wr.WriteHeader(h); err != nil {
-		return err
+	// A headerless input stays headerless — inventing a zero START line
+	// would break byte-level round trips through tracediff.
+	if rd.HasHeader() {
+		if err := wr.WriteHeader(h); err != nil {
+			return err
+		}
 	}
 	for {
 		rec, err := rd.Read()

@@ -524,3 +524,21 @@ func itoa(i int) string {
 	}
 	return string(b)
 }
+
+// TestRunHeaderlessStaysHeaderless: a trace without a START line must not
+// gain a synthetic zero header in the transformed output, or byte-level
+// round trips through tracediff break.
+func TestRunHeaderlessStaysHeaderless(t *testing.T) {
+	in := strings.NewReader("S 7ff000393 4 main LS 0 1 lSoA.mX[0]\nL 7ff000393 4 main LS 0 1 lSoA.mX[0]\n")
+	eng := mustEngine(t, mustRule(t, workloads.RuleTrans1ForLen(4)))
+	var out bytes.Buffer
+	if err := eng.Run(trace.NewReader(in), trace.NewWriter(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(out.String(), "START") {
+		t.Errorf("headerless input gained a header:\n%s", out.String())
+	}
+	if n := len(strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")); n != 2 {
+		t.Errorf("output has %d lines, want 2", n)
+	}
+}
