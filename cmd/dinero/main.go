@@ -77,12 +77,12 @@ func main() {
 		fmt.Print(p.Summary())
 	}
 	if *csv != "" {
-		if err := os.WriteFile(*csv, []byte(p.CSV()), 0o644); err != nil {
+		if err := cliutil.WriteFile(*csv, []byte(p.CSV())); err != nil {
 			fatal(err)
 		}
 	}
 	if *gnuplot != "" {
-		if err := os.WriteFile(*gnuplot, []byte(p.GnuplotData()), 0o644); err != nil {
+		if err := cliutil.WriteFile(*gnuplot, []byte(p.GnuplotData())); err != nil {
 			fatal(err)
 		}
 	}

@@ -10,15 +10,30 @@
 //	experiments -fig 5 -diff          # include the full side-by-side diff
 //	experiments -all -outdir results  # also write CSV/gnuplot per figure
 //	experiments -all -parallel 1      # force a serial run
+//
+// Long batches run resiliently: -checkpoint persists every finished
+// sweep/figure atomically, Ctrl-C cancels cleanly (completed work stays on
+// disk), and -resume picks up where an interrupted run stopped:
+//
+//	experiments -sweep -all -checkpoint run1   # interrupted by crash/SIGINT
+//	experiments -sweep -all -resume run1       # redoes only unfinished work
+//	experiments -all -keep-going               # collect failures, don't stop
+//	experiments -all -task-timeout 2m -retries 2 -max-steps 500000000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
+	"time"
 
+	"tracedst/internal/cliutil"
 	"tracedst/internal/experiments"
 )
 
@@ -32,17 +47,65 @@ func main() {
 	outdir := fs.String("outdir", "", "also write per-figure CSV/gnuplot/diff files to this directory")
 	par := fs.Int("parallel", runtime.NumCPU(), "worker count for sweeps and -all figure regeneration (1 = serial)")
 	validate := fs.Bool("validate", false, "run every generated trace through the strict validator before use")
+	ckptDir := fs.String("checkpoint", "", "persist each finished sweep point/figure to this directory (atomic JSON per task)")
+	resumeDir := fs.String("resume", "", "resume from this checkpoint directory, skipping finished work (implies -checkpoint)")
+	keepGoing := fs.Bool("keep-going", false, "run every task even after failures, then report the full failure list")
+	taskTimeout := fs.Duration("task-timeout", 0, "per-task deadline (0 = none)")
+	retries := fs.Int("retries", 0, "retry a task failing with a transient I/O error this many times")
+	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubled each attempt")
+	maxSteps := fs.Int64("max-steps", 0, "per-workload interpreter step budget; runaway workloads fail instead of hanging (0 = default limit)")
 	_ = fs.Parse(os.Args[1:])
 
 	experiments.SetParallelism(*par)
 	experiments.SetValidate(*validate)
-	if *sweeps {
-		ss, err := experiments.Sweeps()
+	experiments.SetMaxSteps(*maxSteps)
+
+	// SIGINT/SIGTERM cancel the run context: in-flight simulations stop at
+	// their next context poll, finished tasks stay checkpointed, and the
+	// exit message names the resume command.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiments.RunOptions{
+		Workers: *par,
+		Policy: experiments.RunPolicy{
+			TaskTimeout:  *taskTimeout,
+			Retries:      *retries,
+			RetryBackoff: *retryBackoff,
+			KeepGoing:    *keepGoing,
+		},
+	}
+	dir := *ckptDir
+	if *resumeDir != "" {
+		if dir != "" && dir != *resumeDir {
+			fatal(fmt.Errorf("-checkpoint %s and -resume %s name different directories", dir, *resumeDir))
+		}
+		dir = *resumeDir
+	}
+	if dir != "" {
+		ck, err := experiments.OpenCheckpoint(dir)
 		if err != nil {
 			fatal(err)
 		}
-		for _, s := range ss {
-			fmt.Println(s.Table())
+		if n := ck.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming: %d finished tasks loaded from %s\n", n, dir)
+		}
+		opts.Checkpoint = ck
+	}
+
+	exit := 0
+	if *sweeps {
+		ss, err := experiments.SweepsOpts(ctx, opts)
+		if err != nil {
+			exit = reportRunError("sweeps", err, dir)
+		}
+		if err == nil || isKeepGoing(err) {
+			for _, s := range ss {
+				fmt.Println(s.Table())
+			}
+		}
+		if exit != 0 {
+			os.Exit(exit)
 		}
 		if !*all && *fig == 0 {
 			return
@@ -51,9 +114,12 @@ func main() {
 	var results []*experiments.Result
 	switch {
 	case *all:
-		rs, err := experiments.All()
+		rs, err := experiments.AllOpts(ctx, opts)
 		if err != nil {
-			fatal(err)
+			exit = reportRunError("figures", err, dir)
+			if !isKeepGoing(err) {
+				os.Exit(exit)
+			}
 		}
 		results = rs
 	case *fig != 0:
@@ -72,6 +138,9 @@ func main() {
 		}
 	}
 	for _, r := range results {
+		if r == nil {
+			continue // failed under -keep-going; already reported
+		}
 		fmt.Printf("==== %s — %s ====\n", r.ID, r.Title)
 		if r.Cache != "" {
 			fmt.Printf("cache: %s\n", r.Cache)
@@ -98,23 +167,49 @@ func main() {
 			}
 		}
 	}
+	os.Exit(exit)
 }
 
+// isKeepGoing reports whether err is (or wraps) the structured failure
+// list of a -keep-going run, i.e. the run completed with partial results.
+func isKeepGoing(err error) bool {
+	var tes experiments.TaskErrors
+	return errors.As(err, &tes)
+}
+
+// reportRunError explains a failed phase and returns the exit code: the
+// run keeps its partial output, and interrupted checkpointed runs get a
+// resume hint.
+func reportRunError(phase string, err error, ckptDir string) int {
+	fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", phase, err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; finished tasks are checkpointed — rerun with -resume %s\n", ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; rerun with -checkpoint DIR to make runs resumable")
+		}
+		return 130
+	}
+	return 1
+}
+
+// writeArtifacts writes a figure's CSV/gnuplot/diff files atomically, so a
+// crash mid-run never leaves truncated artifacts behind.
 func writeArtifacts(dir string, r *experiments.Result, diffWidth int) error {
 	if r.Plot != nil {
-		if err := os.WriteFile(filepath.Join(dir, r.ID+".csv"), []byte(r.Plot.CSV()), 0o644); err != nil {
+		if err := cliutil.WriteFile(filepath.Join(dir, r.ID+".csv"), []byte(r.Plot.CSV())); err != nil {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(dir, r.ID+".dat"), []byte(r.Plot.GnuplotData()), 0o644); err != nil {
+		if err := cliutil.WriteFile(filepath.Join(dir, r.ID+".dat"), []byte(r.Plot.GnuplotData())); err != nil {
 			return err
 		}
 		script := r.Plot.GnuplotScript(r.ID + ".dat")
-		if err := os.WriteFile(filepath.Join(dir, r.ID+".gp"), []byte(script), 0o644); err != nil {
+		if err := cliutil.WriteFile(filepath.Join(dir, r.ID+".gp"), []byte(script)); err != nil {
 			return err
 		}
 	}
 	if r.Diff != nil {
-		if err := os.WriteFile(filepath.Join(dir, r.ID+".diff"), []byte(r.Diff.SideBySide(diffWidth)), 0o644); err != nil {
+		if err := cliutil.WriteFile(filepath.Join(dir, r.ID+".diff"), []byte(r.Diff.SideBySide(diffWidth))); err != nil {
 			return err
 		}
 	}

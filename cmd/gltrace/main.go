@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -85,16 +86,11 @@ func main() {
 			fatal(err)
 		}
 	case "din":
-		var w *os.File = os.Stdout
-		if *out != "-" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			w = f
-		}
-		if _, err := trace.WriteDin(w, records); err != nil {
+		err := cliutil.WriteTo(*out, func(w io.Writer) error {
+			_, werr := trace.WriteDin(w, records)
+			return werr
+		})
+		if err != nil {
 			fatal(err)
 		}
 	default:

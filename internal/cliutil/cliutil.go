@@ -206,29 +206,46 @@ func WriteTrace(path string, h trace.Header, recs []trace.Record) error {
 }
 
 // WriteTraceOpts writes a trace file ("-" means stdout), emitting the
-// START line only when hasHdr is true.
+// START line only when hasHdr is true. File output goes through an atomic
+// temp-file+rename, so an interrupted run never leaves a truncated trace
+// at the destination path.
 func WriteTraceOpts(path string, h trace.Header, hasHdr bool, recs []trace.Record) error {
-	var out *os.File
+	emit := func(out io.Writer) error {
+		w := trace.NewWriter(out)
+		if hasHdr {
+			if err := w.WriteHeader(h); err != nil {
+				return err
+			}
+		}
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}
 	if path == "-" {
-		out = os.Stdout
-	} else {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
+		return emit(os.Stdout)
 	}
-	w := trace.NewWriter(out)
-	if hasHdr {
-		if err := w.WriteHeader(h); err != nil {
-			return err
-		}
+	return trace.WriteToAtomic(path, emit)
+}
+
+// WriteFile writes an output artifact ("-" means stdout) via an atomic
+// temp-file+rename, the shared crash-safe path for every CLI that produces
+// CSV/gnuplot/diff files.
+func WriteFile(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
 	}
-	for i := range recs {
-		if err := w.Write(&recs[i]); err != nil {
-			return err
-		}
+	return trace.WriteFileAtomic(path, data, 0o644)
+}
+
+// WriteTo streams write's output to path ("-" means stdout) with the same
+// atomic-rename guarantee as WriteFile.
+func WriteTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
 	}
-	return w.Flush()
+	return trace.WriteToAtomic(path, write)
 }

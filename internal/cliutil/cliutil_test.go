@@ -246,3 +246,39 @@ func TestOpenTraceStdin(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestWriteTraceAtomic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.trc")
+	h := trace.Header{PID: 7}
+	recs := []trace.Record{{Op: trace.Store, Addr: 0x601040, Size: 4, Func: "main"}}
+	if err := WriteTrace(p, h, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "START PID 7\nS 000601040 4 main\n"
+	if string(got) != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("WriteTrace leaked temp files: %v", ents)
+	}
+}
+
+func TestWriteFileAtomicHelper(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "a.csv")
+	if err := WriteFile(p, []byte("x,y\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != "x,y\n" {
+		t.Errorf("content = %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"tracedst/internal/trace"
+)
+
+// Checkpoint persists completed task results as one JSON file per task so
+// an interrupted batch run (crash, SIGINT, deadline) can resume without
+// redoing finished work. Files are written via atomic temp-file+rename —
+// a kill mid-write leaves either the previous entry or none, never a
+// corrupt one — and loaded back wholesale by OpenCheckpoint. Entries that
+// fail to decode on load (e.g. written by an older build) are dropped,
+// which merely re-runs those tasks.
+//
+// Each file is an envelope {"key": ..., "value": ...}: the key names the
+// task (e.g. "sweep/sweep-t1/4096/orig"), the value is task-specific.
+// Checkpoint is safe for concurrent use by the worker pool.
+type Checkpoint struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+}
+
+// ckptEnvelope is the on-disk shape of one entry.
+type ckptEnvelope struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint directory and
+// loads every valid entry already present — the resume path after a crash.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	c := &Checkpoint{dir: dir, entries: map[string]json.RawMessage{}}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		var env ckptEnvelope
+		if json.Unmarshal(data, &env) != nil || env.Key == "" || env.Value == nil {
+			// Torn or foreign file: ignore it; the task will simply re-run.
+			continue
+		}
+		c.entries[env.Key] = env.Value
+	}
+	return c, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpoint) Dir() string { return c.dir }
+
+// Len returns the number of loaded or stored entries.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get decodes the entry for key into out, reporting whether it existed.
+func (c *Checkpoint) Get(key string, out any) (bool, error) {
+	c.mu.Lock()
+	raw, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("checkpoint: entry %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put stores key's value in memory and on disk (atomically), so the entry
+// survives any later crash.
+func (c *Checkpoint) Put(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("checkpoint: entry %q: %w", key, err)
+	}
+	data, err := json.Marshal(ckptEnvelope{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("checkpoint: entry %q: %w", key, err)
+	}
+	path := filepath.Join(c.dir, fileForKey(key))
+	if err := trace.WriteFileAtomic(path, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: entry %q: %w", key, err)
+	}
+	c.mu.Lock()
+	c.entries[key] = raw
+	c.mu.Unlock()
+	return nil
+}
+
+// fileForKey flattens a task key into a filename. The true key lives in
+// the envelope, so this only needs to be filesystem-safe and injective
+// enough in practice (keys use [a-z0-9-/] by convention).
+func fileForKey(key string) string {
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + ".json"
+}

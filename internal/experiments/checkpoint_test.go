@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tracedst/internal/minic"
+	"tracedst/internal/trace"
+	"tracedst/internal/workloads"
+)
+
+func TestCheckpointPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Put("sweep/t1/4096/orig", sweepEntry{Misses: 42}); err != nil {
+		t.Fatal(err)
+	}
+	var got sweepEntry
+	if ok, err := ck.Get("sweep/t1/4096/orig", &got); err != nil || !ok || got.Misses != 42 {
+		t.Fatalf("Get = %v %v %v", ok, got, err)
+	}
+	if ok, _ := ck.Get("sweep/t1/4096/xform", &got); ok {
+		t.Error("Get of absent key reported present")
+	}
+
+	// A fresh open of the same directory must see the persisted entry.
+	ck2, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Len() != 1 {
+		t.Fatalf("reloaded checkpoint has %d entries, want 1", ck2.Len())
+	}
+	got = sweepEntry{}
+	if ok, err := ck2.Get("sweep/t1/4096/orig", &got); err != nil || !ok || got.Misses != 42 {
+		t.Fatalf("reloaded Get = %v %v %v", ok, got, err)
+	}
+}
+
+func TestCheckpointIgnoresTornFiles(t *testing.T) {
+	dir := t.TempDir()
+	// A half-written JSON file, as a crash mid-write without atomic rename
+	// would leave. OpenCheckpoint must skip it, not fail.
+	if err := os.WriteFile(filepath.Join(dir, "torn.json"), []byte(`{"key":"a","val`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("unrelated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != 0 {
+		t.Errorf("checkpoint loaded %d entries from garbage", ck.Len())
+	}
+}
+
+// TestSweepCheckpointResume is the crash-recovery acceptance test: cancel
+// a sweep run mid-flight, then resume from the checkpoint directory with a
+// different worker count — the merged results must be byte-identical to an
+// uninterrupted run, and the resumed run must reuse the persisted work.
+func TestSweepCheckpointResume(t *testing.T) {
+	clean, err := SweepsParallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintSweeps(clean)
+
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt the run after 5 completed tasks — mid-flight by
+	// construction (a full run has dozens of tasks).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done int32
+	opts := RunOptions{Workers: 1, Checkpoint: ck,
+		Policy: RunPolicy{afterTask: func(int) {
+			if atomic.AddInt32(&done, 1) == 5 {
+				cancel()
+			}
+		}}}
+	if _, err := SweepsOpts(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+
+	// Resume in a fresh checkpoint handle, as a restarted process would.
+	ck2, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := ck2.Len()
+	if persisted < 5 {
+		t.Fatalf("only %d tasks checkpointed before cancellation, want >= 5", persisted)
+	}
+	resumed, err := SweepsOpts(context.Background(), RunOptions{Workers: 4, Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprintSweeps(resumed); got != want {
+		t.Errorf("resumed results differ from a clean run:\n--- clean ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestFigureCheckpointReplay: figures restored from a checkpoint print
+// identically to freshly computed ones (Sim aside, which is never
+// printed).
+func TestFigureCheckpointReplay(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := AllOpts(context.Background(), RunOptions{Workers: 2, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := AllOpts(context.Background(), RunOptions{Workers: 2, Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(first) {
+		t.Fatalf("replay returned %d figures, want %d", len(replayed), len(first))
+	}
+	for i, r := range replayed {
+		if r.Sim != nil {
+			t.Errorf("%s: replayed result has live Sim — it was recomputed, not restored", r.ID)
+		}
+		if got, want := fingerprintPrinted(r), fingerprintPrinted(first[i]); got != want {
+			t.Errorf("%s: replayed figure prints differently:\n--- fresh ---\n%s\n--- replayed ---\n%s",
+				r.ID, want, got)
+		}
+	}
+}
+
+// fingerprintPrinted renders everything cmd/experiments prints or writes
+// for a figure (Sim is intentionally absent — it is never output).
+func fingerprintPrinted(r *Result) string {
+	var b strings.Builder
+	b.WriteString(r.ID + "|" + r.Title + "|" + r.Cache + "\n")
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	if r.Plot != nil {
+		b.WriteString(r.Plot.ASCII(36))
+		b.WriteString(r.Plot.Summary())
+		b.WriteString(r.Plot.CSV())
+		b.WriteString(r.Plot.GnuplotData())
+	}
+	if r.Diff != nil {
+		b.WriteString(r.Diff.SideBySide(52))
+	}
+	return b.String()
+}
+
+// TestSweepKeepGoingWithRunawayWorkload: one spec whose workload blows its
+// step budget must fail with ErrBudgetExceeded in the structured error
+// list while the healthy specs complete fully.
+func TestSweepKeepGoingWithRunawayWorkload(t *testing.T) {
+	prevSteps := SetMaxSteps(50_000)
+	defer SetMaxSteps(prevSteps)
+
+	runawayTrace := func() ([]trace.Record, error) {
+		return runWorkload(workloads.Runaway, nil)
+	}
+	specs := []sweepSpec{
+		{
+			id: "sweep-bad", title: "runaway workload", geometry: "32-byte blocks, 1-way",
+			sizes: []int64{1024, 2048}, config: directMapped,
+			orig: runawayTrace, xform: runawayTrace,
+		},
+		{
+			id: "sweep-good", title: "healthy workload", geometry: "32-byte blocks, 1-way",
+			sizes: []int64{1024, 2048}, config: directMapped,
+			orig: traceT1, xform: transformT1,
+		},
+	}
+	out, err := runSweeps(context.Background(), specs,
+		RunOptions{Workers: 2, Policy: RunPolicy{KeepGoing: true}})
+	if err == nil {
+		t.Fatal("runaway spec did not fail")
+	}
+	var tes TaskErrors
+	if !errors.As(err, &tes) {
+		t.Fatalf("err = %T %v, want TaskErrors", err, err)
+	}
+	if len(tes) != 4 { // 2 sizes × orig+xform
+		t.Errorf("%d failures, want 4: %v", len(tes), tes)
+	}
+	for _, te := range tes {
+		if !errors.Is(te, minic.ErrBudgetExceeded) {
+			t.Errorf("failure %v does not unwrap to ErrBudgetExceeded", te)
+		}
+		if !strings.HasPrefix(te.Name, "sweep/sweep-bad/") {
+			t.Errorf("failure names %q, want a sweep-bad task", te.Name)
+		}
+	}
+	// The healthy spec's numbers must match a clean solo run.
+	solo, serr := runSweeps(context.Background(), specs[1:], RunOptions{Workers: 1})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if got, want := out[1].Table(), solo[0].Table(); got != want {
+		t.Errorf("healthy spec perturbed by sibling failure:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestSweepCancellationReturnsPartialResults: a cancelled run still hands
+// back the points it finished, and with a checkpoint those points are on
+// disk.
+func TestSweepCancellationReturnsPartialResults(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done int32
+	opts := RunOptions{Workers: 1, Checkpoint: ck,
+		Policy: RunPolicy{afterTask: func(int) {
+			if atomic.AddInt32(&done, 1) == 3 {
+				cancel()
+			}
+		}}}
+	out, err := SweepsOpts(ctx, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out == nil {
+		t.Fatal("cancelled run returned nil results")
+	}
+	var nonZero int
+	for _, s := range out {
+		for _, p := range s.Points {
+			if p.MissesOrig > 0 || p.MissesXform > 0 {
+				nonZero++
+			}
+		}
+	}
+	if nonZero == 0 {
+		t.Error("no partial results survived cancellation")
+	}
+	if ck.Len() < 3 {
+		t.Errorf("%d checkpoint entries after 3 completed tasks", ck.Len())
+	}
+}

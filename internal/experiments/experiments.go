@@ -31,7 +31,10 @@ const (
 	LenT3 = 1024
 )
 
-// Result is one regenerated figure.
+// Result is one regenerated figure. Every printed field survives a JSON
+// round trip, which is how checkpoint/resume replays a finished figure
+// without recomputing it; only Sim (live simulator state, never printed)
+// is excluded and stays nil on restored results.
 type Result struct {
 	// ID is the figure identifier, e.g. "fig3".
 	ID string
@@ -43,8 +46,9 @@ type Result struct {
 	Plot *analysis.Plot
 	// Diff holds the trace alignment for diff figures (nil otherwise).
 	Diff *tracediff.Diff
-	// Sim is the finished simulator for histogram figures.
-	Sim *dinero.Simulator
+	// Sim is the finished simulator for histogram figures. It is not
+	// checkpointed: results restored from a checkpoint have Sim == nil.
+	Sim *dinero.Simulator `json:"-"`
 	// Notes are measured observations to compare against the paper's
 	// claims.
 	Notes []string
@@ -115,8 +119,38 @@ var (
 	t1Xform, t2Xform, t3Xform, t2HotXform memoTrace
 )
 
+// maxSteps guards the execution budget applied to every workload traced by
+// this package; cmd/experiments wires its -max-steps flag here. Zero keeps
+// the interpreter's default limit.
+var (
+	maxStepsMu sync.Mutex
+	maxSteps   int64
+)
+
+// SetMaxSteps caps the number of statements any single workload may
+// execute while being traced; a workload exceeding it fails its figure
+// with an error matching minic.ErrBudgetExceeded instead of hanging the
+// run. It returns the previous cap (0 = interpreter default).
+func SetMaxSteps(n int64) int64 {
+	maxStepsMu.Lock()
+	defer maxStepsMu.Unlock()
+	prev := maxSteps
+	if n < 0 {
+		n = 0
+	}
+	maxSteps = n
+	return prev
+}
+
+// MaxSteps returns the current per-workload step cap (0 = default).
+func MaxSteps() int64 {
+	maxStepsMu.Lock()
+	defer maxStepsMu.Unlock()
+	return maxSteps
+}
+
 func runWorkload(src string, defs map[string]string) ([]trace.Record, error) {
-	res, err := tracer.Run(src, defs, tracer.Options{})
+	res, err := tracer.Run(src, defs, tracer.Options{MaxSteps: MaxSteps()})
 	if err != nil {
 		return nil, err
 	}
@@ -472,27 +506,53 @@ func Run(id string) (*Result, error) {
 }
 
 // All regenerates every figure in order, fanning the figures out over the
-// configured worker pool (SetParallelism). Output order and contents are
-// identical to a serial run: workloads are traced once (memoized) and each
-// figure simulates into its own simulator.
+// configured worker pool (SetParallelism) under the configured RunPolicy
+// (SetPolicy). Output order and contents are identical to a serial run:
+// workloads are traced once (memoized) and each figure simulates into its
+// own simulator.
 func All() ([]*Result, error) {
-	return AllParallel(Parallelism())
+	return AllOpts(context.Background(), DefaultRunOptions())
 }
 
 // AllParallel is All with an explicit worker count (1 = serial).
 func AllParallel(workers int) ([]*Result, error) {
+	opts := DefaultRunOptions()
+	opts.Workers = workers
+	return AllOpts(context.Background(), opts)
+}
+
+// AllOpts regenerates every figure under explicit run options. A non-nil
+// checkpoint replays figures finished by an earlier interrupted run
+// (restored results print identically; their Sim field is nil) and
+// persists fresh ones. On error the partial result slice is returned with
+// it — failed or skipped figures are nil entries, and in KeepGoing mode
+// the error is a TaskErrors naming each failed figure while the others
+// completed.
+func AllOpts(ctx context.Context, opts RunOptions) ([]*Result, error) {
 	ids := IDs()
 	out := make([]*Result, len(ids))
-	err := forEach(context.Background(), workers, len(ids), func(_ context.Context, i int) error {
-		r, err := Run(ids[i])
+	name := func(i int) string { return ids[i] }
+	err := forEachPolicy(ctx, opts.Policy, opts.workerCount(), len(ids), name, func(_ context.Context, i int) error {
+		id := ids[i]
+		ckptKey := "fig/" + id
+		if opts.Checkpoint != nil {
+			var saved Result
+			if ok, err := opts.Checkpoint.Get(ckptKey, &saved); err != nil {
+				return err
+			} else if ok {
+				out[i] = &saved
+				return nil
+			}
+		}
+		r, err := Run(id)
 		if err != nil {
-			return fmt.Errorf("%s: %w", ids[i], err)
+			return err // forEachPolicy's TaskError labels it with the figure id
 		}
 		out[i] = r
+		if opts.Checkpoint != nil {
+			return opts.Checkpoint.Put(ckptKey, r)
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, err
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -40,42 +41,102 @@ func Parallelism() int {
 	return parallelism
 }
 
-// forEach runs f(ctx, i) for every i in [0, n) on a pool of workers,
-// errgroup-style: the first error cancels the context, remaining queued
-// tasks are skipped, and that first error is returned. With one worker it
-// degenerates to a plain serial loop. Tasks must write only to their own
-// slot of any shared output slice; forEach guarantees all writes are
-// visible to the caller when it returns.
+// RunOptions bundles everything that shapes a resilient batch run: worker
+// count, failure policy, and the checkpoint store (nil = no persistence).
+type RunOptions struct {
+	// Workers is the pool size; values below 1 mean the SetParallelism
+	// default.
+	Workers int
+	// Policy is the per-task failure policy.
+	Policy RunPolicy
+	// Checkpoint, when non-nil, is consulted before each task (completed
+	// tasks are skipped, their stored results reused) and updated after
+	// each task completes — the resume path of cmd/experiments.
+	Checkpoint *Checkpoint
+}
+
+// workerCount resolves the effective pool size.
+func (o *RunOptions) workerCount() int {
+	if o.Workers < 1 {
+		return Parallelism()
+	}
+	return o.Workers
+}
+
+// DefaultRunOptions is the options Sweeps/All use: the process-wide
+// parallelism and policy, no checkpointing.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Workers: Parallelism(), Policy: Policy()}
+}
+
+// forEach runs f(ctx, i) for every i in [0, n) on a pool of workers with
+// the zero RunPolicy: errgroup-style first-error-cancels semantics, panics
+// isolated into errors. Tasks must write only to their own slot of any
+// shared output slice; forEach guarantees all writes are visible to the
+// caller when it returns.
 func forEach(ctx context.Context, workers, n int, f func(context.Context, int) error) error {
+	return forEachPolicy(ctx, RunPolicy{}, workers, n, nil, f)
+}
+
+// forEachPolicy runs f(ctx, i) for every i in [0, n) on a pool of workers
+// under pol. Every invocation is panic-isolated (a panicking task becomes a
+// *PanicError, the pool and process survive), deadline-bounded and retried
+// per the policy. Without KeepGoing the first failure cancels the run and
+// is returned as a *TaskError; with KeepGoing every task runs and all
+// failures return together as TaskErrors, ordered by task index. name,
+// when non-nil, labels tasks in error reports. With one worker the pool
+// degenerates to a plain serial loop.
+func forEachPolicy(ctx context.Context, pol RunPolicy, workers, n int, name func(int) string, f func(context.Context, int) error) error {
+	taskErr := func(i, attempts int, err error) *TaskError {
+		te := &TaskError{Index: i, Attempts: attempts, Err: err}
+		if name != nil {
+			te.Name = name(i)
+		}
+		return te
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		var tes TaskErrors
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				return keepGoingResult(tes, err)
 			}
-			if err := f(ctx, i); err != nil {
-				return err
+			attempts, err := runTask(ctx, &pol, i, f)
+			if err != nil {
+				if !pol.KeepGoing {
+					return taskErr(i, attempts, err)
+				}
+				tes = append(tes, taskErr(i, attempts, err))
+				continue
+			}
+			if pol.afterTask != nil {
+				pol.afterTask(i)
 			}
 		}
-		return nil
+		return keepGoingResult(tes, ctx.Err())
 	}
 
-	ctx, cancel := context.WithCancel(ctx)
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
+		tes      TaskErrors
 	)
-	fail := func(err error) {
+	fail := func(te *TaskError) {
 		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		defer errMu.Unlock()
+		if pol.KeepGoing {
+			tes = append(tes, te)
+			return
 		}
-		errMu.Unlock()
+		if firstErr == nil {
+			firstErr = te
+		}
 		cancel()
 	}
 
@@ -85,11 +146,16 @@ func forEach(ctx context.Context, workers, n int, f func(context.Context, int) e
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if ctx.Err() != nil {
+				if runCtx.Err() != nil {
 					continue // drain without working after cancellation
 				}
-				if err := f(ctx, i); err != nil {
-					fail(err)
+				attempts, err := runTask(runCtx, &pol, i, f)
+				if err != nil {
+					fail(taskErr(i, attempts, err))
+					continue
+				}
+				if pol.afterTask != nil {
+					pol.afterTask(i)
 				}
 			}
 		}()
@@ -98,7 +164,7 @@ feed:
 	for i := 0; i < n; i++ {
 		select {
 		case idx <- i:
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break feed
 		}
 	}
@@ -107,8 +173,29 @@ feed:
 
 	errMu.Lock()
 	defer errMu.Unlock()
+	if pol.KeepGoing {
+		return keepGoingResult(tes, ctx.Err())
+	}
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	return runCtx.Err()
+}
+
+// keepGoingResult folds a KeepGoing run's collected failures and the
+// run-level context error into one return value: nil when everything
+// succeeded, the sorted TaskErrors when only tasks failed, the context
+// error when the run was cut short, and both joined when each happened.
+func keepGoingResult(tes TaskErrors, ctxErr error) error {
+	if len(tes) == 0 {
+		if ctxErr != nil {
+			return ctxErr
+		}
+		return nil
+	}
+	tes.sortByIndex()
+	if ctxErr != nil {
+		return errors.Join(ctxErr, tes)
+	}
+	return tes
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"tracedst/internal/cache"
+	"tracedst/internal/dinero"
 	"tracedst/internal/trace"
 )
 
@@ -66,10 +67,29 @@ func (s *SweepResult) Table() string {
 // mapped unless noted).
 var DefaultSweepSizes = []int64{256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 
-func missesAt(recs []trace.Record, cfg cache.Config) (int64, error) {
-	sim, err := simulate(recs, cfg)
+// simChunk is how many records a sweep simulation processes between
+// context polls — small enough that a deadline or SIGINT interrupts a
+// simulation within microseconds, large enough to stay invisible in the
+// profile.
+const simChunk = 1 << 16
+
+// missesAt simulates recs in chunks, polling ctx between chunks so a
+// per-task deadline or a cancelled run stops mid-simulation instead of
+// after it.
+func missesAt(ctx context.Context, recs []trace.Record, cfg cache.Config) (int64, error) {
+	sim, err := dinero.New(dinero.Options{L1: cfg, Syms: sharedSyms})
 	if err != nil {
 		return 0, err
+	}
+	for start := 0; start < len(recs); start += simChunk {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		end := start + simChunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		sim.Process(recs[start:end])
 	}
 	return sim.L1().Stats().Misses(), nil
 }
@@ -124,11 +144,24 @@ func sweepSpecs() []sweepSpec {
 	}
 }
 
+// sweepEntry is the checkpointed value of one sweep task.
+type sweepEntry struct {
+	Misses int64 `json:"misses"`
+}
+
+// sweepSides names the two halves of a sweep point in checkpoint keys and
+// error reports.
+var sweepSides = [2]string{"orig", "xform"}
+
 // runSweeps simulates the given specs' sweep points on a worker pool. Each
 // task is one (spec, size, orig-or-xform) simulation against the shared
 // immutable record slices; results land in pre-assigned slots, so the
-// output is byte-identical whatever the worker count.
-func runSweeps(ctx context.Context, specs []sweepSpec, workers int) ([]*SweepResult, error) {
+// output is byte-identical whatever the worker count. With a checkpoint,
+// already-completed tasks are skipped and fresh completions persisted,
+// making the run crash-resumable. On error the partially-filled results
+// are returned alongside it: completed points are valid (and, when
+// checkpointed, already safe on disk).
+func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*SweepResult, error) {
 	out := make([]*SweepResult, len(specs))
 	type task struct{ spec, point, side int }
 	var tasks []task
@@ -141,8 +174,29 @@ func runSweeps(ctx context.Context, specs []sweepSpec, workers int) ([]*SweepRes
 		}
 		out[si] = r
 	}
-	err := forEach(ctx, workers, len(tasks), func(_ context.Context, ti int) error {
+	key := func(tk task) string {
+		sp := specs[tk.spec]
+		return fmt.Sprintf("sweep/%s/%d/%s", sp.id, sp.sizes[tk.point], sweepSides[tk.side])
+	}
+	store := func(tk task, m int64) {
+		if tk.side == 0 {
+			out[tk.spec].Points[tk.point].MissesOrig = m
+		} else {
+			out[tk.spec].Points[tk.point].MissesXform = m
+		}
+	}
+	name := func(ti int) string { return key(tasks[ti]) }
+	err := forEachPolicy(ctx, opts.Policy, opts.workerCount(), len(tasks), name, func(ctx context.Context, ti int) error {
 		tk := tasks[ti]
+		if opts.Checkpoint != nil {
+			var saved sweepEntry
+			if ok, err := opts.Checkpoint.Get(key(tk), &saved); err != nil {
+				return err
+			} else if ok {
+				store(tk, saved.Misses)
+				return nil
+			}
+		}
 		sp := specs[tk.spec]
 		recsOf := sp.orig
 		if tk.side == 1 {
@@ -152,27 +206,23 @@ func runSweeps(ctx context.Context, specs []sweepSpec, workers int) ([]*SweepRes
 		if err != nil {
 			return err
 		}
-		m, err := missesAt(recs, sp.config(sp.sizes[tk.point]))
+		m, err := missesAt(ctx, recs, sp.config(sp.sizes[tk.point]))
 		if err != nil {
 			return err
 		}
-		if tk.side == 0 {
-			out[tk.spec].Points[tk.point].MissesOrig = m
-		} else {
-			out[tk.spec].Points[tk.point].MissesXform = m
+		store(tk, m)
+		if opts.Checkpoint != nil {
+			return opts.Checkpoint.Put(key(tk), sweepEntry{Misses: m})
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, err
 }
 
 func sweepByID(id string) (*SweepResult, error) {
 	for _, sp := range sweepSpecs() {
 		if sp.id == id {
-			out, err := runSweeps(context.Background(), []sweepSpec{sp}, Parallelism())
+			out, err := runSweeps(context.Background(), []sweepSpec{sp}, DefaultRunOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -200,13 +250,26 @@ func SweepT3() (*SweepResult, error) { return sweepByID("sweep-t3") }
 func SweepT2Hot() (*SweepResult, error) { return sweepByID("sweep-t2-hot") }
 
 // Sweeps runs all layout sweeps, fanning the individual simulations out
-// over the configured worker pool (SetParallelism). Each workload is traced
-// and transformed exactly once; results are byte-identical to a serial run.
+// over the configured worker pool (SetParallelism) under the configured
+// RunPolicy (SetPolicy). Each workload is traced and transformed exactly
+// once; results are byte-identical to a serial run.
 func Sweeps() ([]*SweepResult, error) {
-	return SweepsParallel(Parallelism())
+	return SweepsOpts(context.Background(), DefaultRunOptions())
 }
 
 // SweepsParallel is Sweeps with an explicit worker count (1 = serial).
 func SweepsParallel(workers int) ([]*SweepResult, error) {
-	return runSweeps(context.Background(), sweepSpecs(), workers)
+	opts := DefaultRunOptions()
+	opts.Workers = workers
+	return SweepsOpts(context.Background(), opts)
+}
+
+// SweepsOpts runs all layout sweeps under explicit run options: the
+// context cancels the run (SIGINT wiring lives in cmd/experiments), the
+// policy shapes per-task failure handling, and a non-nil checkpoint makes
+// the run crash-resumable. On error, the partial results computed (or
+// restored) so far are returned with it — in KeepGoing mode the error is a
+// TaskErrors listing every failed simulation while the rest completed.
+func SweepsOpts(ctx context.Context, opts RunOptions) ([]*SweepResult, error) {
+	return runSweeps(ctx, sweepSpecs(), opts)
 }

@@ -185,7 +185,7 @@ int main(void) { return burn(0); }`
 	}
 	if _, err := NewInterp(p, nil).Run(); err == nil {
 		t.Fatal("unbounded recursion did not fail")
-	} else if !strings.Contains(err.Error(), "stack overflow") && !strings.Contains(err.Error(), "step limit") {
+	} else if !strings.Contains(err.Error(), "stack overflow") && !strings.Contains(err.Error(), "step budget") {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package minic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"tracedst/internal/ctype"
@@ -38,6 +40,31 @@ func (nopListener) Instrument(bool)                             {}
 // programs from hanging the simulator.
 const DefaultStepLimit = 100_000_000
 
+// ErrBudgetExceeded is the sentinel matched by errors.Is when a program
+// runs past its step budget. The concrete error is a *BudgetError carrying
+// the limit.
+var ErrBudgetExceeded = errors.New("step budget exceeded")
+
+// BudgetError reports a program that executed more statements than its
+// budget allows — the typed form of "this workload is runaway", so batch
+// runners can report it and keep going instead of hanging.
+type BudgetError struct {
+	// Limit is the step budget that was exhausted.
+	Limit int64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("minic: step budget %d exceeded (infinite loop?)", e.Limit)
+}
+
+// Is matches ErrBudgetExceeded.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// ctxCheckMask sets how often the interpreter polls its context: every
+// (mask+1) steps, cheap enough to hide in the statement dispatch cost.
+const ctxCheckMask = 1023
+
 // Interp executes a parsed Program against a fresh address space, reporting
 // every data access to the Listener.
 type Interp struct {
@@ -48,6 +75,7 @@ type Interp struct {
 	lis       Listener
 	StepLimit int64
 	steps     int64
+	ctx       context.Context
 
 	fnStack []string
 	// dedup, when non-nil, suppresses duplicate load events for the same
@@ -128,6 +156,12 @@ func (in *Interp) Run() (int64, error) {
 
 // Steps returns the number of statements executed.
 func (in *Interp) Steps() int64 { return in.steps }
+
+// SetContext attaches a cancellation context to the interpreter: the step
+// loop polls it every few hundred statements, so a deadline or SIGINT
+// interrupts even a program that never terminates on its own. A nil ctx
+// clears the check.
+func (in *Interp) SetContext(ctx context.Context) { in.ctx = ctx }
 
 func (in *Interp) curFn() string {
 	if len(in.fnStack) == 0 {
@@ -276,7 +310,12 @@ func (in *Interp) call(fd *FuncDecl, args []Value) (Value, error) {
 func (in *Interp) step() error {
 	in.steps++
 	if in.steps > in.StepLimit {
-		return fmt.Errorf("minic: step limit %d exceeded (infinite loop?)", in.StepLimit)
+		return &BudgetError{Limit: in.StepLimit}
+	}
+	if in.ctx != nil && in.steps&ctxCheckMask == 0 {
+		if err := in.ctx.Err(); err != nil {
+			return fmt.Errorf("minic: interrupted after %d steps: %w", in.steps, err)
+		}
 	}
 	return nil
 }

@@ -1,9 +1,12 @@
 package minic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"tracedst/internal/memmodel"
 )
@@ -421,8 +424,29 @@ func TestRunStepLimit(t *testing.T) {
 	prog := mustParse(t, `int main(void) { while (1) { } return 0; }`, nil)
 	in := NewInterp(prog, nil)
 	in.StepLimit = 1000
-	if _, err := in.Run(); err == nil || !strings.Contains(err.Error(), "step limit") {
-		t.Errorf("err = %v", err)
+	_, err := in.Run()
+	if err == nil || !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != 1000 {
+		t.Errorf("err = %#v, want *BudgetError{Limit: 1000}", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	prog := mustParse(t, `int main(void) { while (1) { } return 0; }`, nil)
+	in := NewInterp(prog, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	in.SetContext(ctx)
+	start := time.Now()
+	_, err := in.Run()
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
 	}
 }
 

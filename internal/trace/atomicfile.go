@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicFile writes a file crash-safely: bytes accumulate in a hidden
+// temporary file in the destination directory and only a successful Commit
+// renames it over the final path. A run interrupted mid-write — SIGKILL,
+// panic, full disk — leaves the previous file contents (or no file) behind,
+// never a truncated one. Rename is atomic on POSIX filesystems when source
+// and destination share a directory, which the temp-file placement
+// guarantees.
+type AtomicFile struct {
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// CreateAtomic starts an atomic write of path. The caller must finish with
+// Commit (publish) or Abort (discard); deferring Abort is safe after a
+// successful Commit.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write implements io.Writer.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit flushes the temporary file to stable storage and atomically
+// renames it over the destination path.
+func (a *AtomicFile) Commit() error {
+	if a.closed {
+		return fmt.Errorf("trace: atomic file %s already closed", a.path)
+	}
+	a.closed = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Abort discards the temporary file. It is a no-op after Commit (or a
+// previous Abort), so "defer a.Abort()" pairs safely with a conditional
+// Commit.
+func (a *AtomicFile) Abort() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	tmp := a.f.Name()
+	a.f.Close()
+	os.Remove(tmp)
+}
+
+// WriteFileAtomic is the os.WriteFile shape of CreateAtomic: the
+// destination either keeps its old contents or holds exactly data, never a
+// prefix of it.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if _, err := a.Write(data); err != nil {
+		return err
+	}
+	if err := a.f.Chmod(perm); err != nil {
+		return err
+	}
+	return a.Commit()
+}
+
+// WriteToAtomic streams write's output into an atomic write of path.
+func WriteToAtomic(path string, write func(w io.Writer) error) error {
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if err := write(a); err != nil {
+		return err
+	}
+	return a.Commit()
+}

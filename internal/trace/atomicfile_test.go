@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// listDir returns the names present in dir (the destination file plus any
+// leaked temporaries).
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomic(path, []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\n" {
+		t.Errorf("content = %q, want %q", got, "hello\n")
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("directory holds %v, want just out.txt (no temp leaks)", names)
+	}
+}
+
+func TestWriteFileAtomicReplacesWholesale(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old contents, quite long"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Errorf("content = %q, want %q", got, "new")
+	}
+}
+
+func TestAbortPreservesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Errorf("abort clobbered the original: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("abort leaked temp files: %v", names)
+	}
+}
+
+func TestAbortAfterCommitIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(a, "data")
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort() // must not remove the committed file
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("Abort after Commit removed the file: %v", err)
+	}
+	if err := a.Commit(); err == nil {
+		t.Error("second Commit succeeded, want error")
+	}
+}
+
+func TestWriteToAtomicErrorDiscards(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	boom := errors.New("boom")
+	err := WriteToAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a file")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("failed write left a file behind: %v", serr)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Errorf("failed write leaked temp files: %v", names)
+	}
+}
+
+func TestCreateAtomicMissingDir(t *testing.T) {
+	_, err := CreateAtomic(filepath.Join(t.TempDir(), "nope", "out.txt"))
+	if err == nil {
+		t.Fatal("CreateAtomic in a missing directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the directory: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package tracer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tracedst/internal/minic"
+	"tracedst/internal/workloads"
+)
+
+// TestRunawayStepBudget: the pathological workload must fail with the typed
+// budget error instead of hanging, and the failure must arrive promptly.
+func TestRunawayStepBudget(t *testing.T) {
+	start := time.Now()
+	_, err := Run(workloads.Runaway, nil, Options{MaxSteps: 10_000})
+	if err == nil {
+		t.Fatal("runaway workload terminated?!")
+	}
+	if !errors.Is(err, minic.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want minic.ErrBudgetExceeded", err)
+	}
+	var be *minic.BudgetError
+	if !errors.As(err, &be) || be.Limit != 10_000 {
+		t.Errorf("err = %v, want *BudgetError{Limit: 10000}", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("budget enforcement took %v", elapsed)
+	}
+}
+
+// TestRunawayContextDeadline: without a step budget, a context deadline must
+// still interrupt the interpreter loop well before any test timeout.
+func TestRunawayContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(workloads.Runaway, nil, Options{Ctx: ctx, MaxRecords: 1024})
+	if err == nil {
+		t.Fatal("runaway workload terminated?!")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("deadline enforcement took %v", elapsed)
+	}
+}
+
+// TestMaxStepsLeavesNormalRunsAlone: a generous budget must not perturb a
+// terminating workload's trace.
+func TestMaxStepsLeavesNormalRunsAlone(t *testing.T) {
+	plain, err := Run(workloads.Listing1, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Run(workloads.Listing1, nil, Options{MaxSteps: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Records) != len(budgeted.Records) {
+		t.Errorf("budgeted run has %d records, plain %d", len(budgeted.Records), len(plain.Records))
+	}
+}

@@ -6,6 +6,7 @@
 package tracer
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,6 +30,14 @@ type Options struct {
 	// (later events count as Dropped) — a safety cap for long-running
 	// programs traced into memory.
 	MaxRecords int
+	// MaxSteps, when positive, bounds the number of statements the traced
+	// program may execute; exceeding it fails the run with an error
+	// matching minic.ErrBudgetExceeded instead of hanging. Zero keeps the
+	// interpreter's default limit.
+	MaxSteps int64
+	// Ctx, when non-nil, lets a deadline or cancellation interrupt the
+	// traced program mid-execution (the interpreter polls it periodically).
+	Ctx context.Context
 }
 
 // Tracer converts interpreter events to trace records. Create it, then the
@@ -154,6 +163,12 @@ func Run(src string, defines map[string]string, opts Options) (*Result, error) {
 func RunProgram(prog *minic.Program, opts Options) (*Result, error) {
 	t := New(opts)
 	in := minic.NewInterp(prog, t)
+	if opts.MaxSteps > 0 {
+		in.StepLimit = opts.MaxSteps
+	}
+	if opts.Ctx != nil {
+		in.SetContext(opts.Ctx)
+	}
 	t.Attach(in)
 	ret, err := in.Run()
 	if err != nil {

@@ -414,6 +414,25 @@ int main(void) {
 }
 `
 
+// Runaway is a pathological workload that never terminates: an unbounded
+// loop mutating one local so every iteration still generates memory
+// traffic. It exists to exercise the execution-budget machinery
+// (tracer.Options.MaxSteps / minic.ErrBudgetExceeded and context
+// deadlines) and is deliberately NOT in Named — tools and tests that
+// iterate every named workload must keep terminating.
+const Runaway = `
+int main(void) {
+	int lSpin;
+	lSpin = 0;
+	GLEIPNIR_START_INSTRUMENTATION;
+	while (1) {
+		lSpin = lSpin + 1;
+	}
+	GLEIPNIR_STOP_INSTRUMENTATION;
+	return lSpin;
+}
+`
+
 // Named lists every built-in workload for the CLI tools.
 var Named = map[string]struct {
 	Source string
