@@ -31,15 +31,23 @@ func main() {
 	phys := fs.String("phys", "off", "physical indexing: off | seq | shuffled (4 KiB pages)")
 	physSeed := fs.Uint64("phys-seed", 0, "seed for the shuffled frame permutation")
 	tf := cliutil.NewTraceFlags(fs, "dinero")
+	of := cliutil.NewObsFlags(fs, "dinero")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
-	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "dinero: need exactly one trace file argument (- for stdin)")
+	var err error
+	obs, err = of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
 		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		obs.Log.Error("need exactly one trace file argument (- for stdin)")
+		obs.Exit(2)
 	}
 	cfg1, err := l1.Build()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	opts := dinero.Options{L1: cfg1}
 	switch *phys {
@@ -49,24 +57,29 @@ func main() {
 	case "shuffled":
 		opts.Translate = pagemap.New(pagemap.Config{Policy: pagemap.Shuffled, Seed: *physSeed}).MustTranslate
 	default:
-		fatal(fmt.Errorf("bad -phys %q (off|seq|shuffled)", *phys))
+		obs.Fatal(fmt.Errorf("bad -phys %q (off|seq|shuffled)", *phys))
 	}
 	if *withL2 {
 		cfg2, err := l2.Build()
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		opts.L2 = &cfg2
 	}
 	sim, err := dinero.New(opts)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp := obs.Reg.StartSpan("dinero/load")
 	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp = obs.Reg.StartSpan("dinero/simulate")
 	sim.Process(recs)
+	sp.End()
+	sim.PublishTelemetry(obs.Reg)
 	fmt.Print(sim.Report())
 
 	p := analysis.FromSimulator("per-set cache behaviour", sim, *noSym)
@@ -78,17 +91,17 @@ func main() {
 	}
 	if *csv != "" {
 		if err := cliutil.WriteFile(*csv, []byte(p.CSV())); err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 	}
 	if *gnuplot != "" {
 		if err := cliutil.WriteFile(*gnuplot, []byte(p.GnuplotData())); err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 	}
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dinero:", err)
-	os.Exit(1)
-}
+// obs is the tool's observability context; set first thing in main so
+// every error path can flush profiles and the metrics manifest.
+var obs *cliutil.Obs

@@ -37,42 +37,53 @@ func main() {
 	saveXform := fs.String("o", "", "also write the transformed trace to this file")
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	of := cliutil.NewObsFlags(fs, "dsx")
 	_ = fs.Parse(os.Args[1:])
 
+	var err error
+	obs, err = of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsx:", err)
+		os.Exit(2)
+	}
 	if *ruleFile == "" {
-		fatal(fmt.Errorf("need -rules FILE"))
+		obs.Fatal(fmt.Errorf("need -rules FILE"))
 	}
 	src, defs, err := source(*workload, *srcFile, defines)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	cfg, err := l1.Build()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 
 	// 1. Trace.
+	sp := obs.Reg.StartSpan("dsx/trace")
 	res, err := tracer.Run(src, defs, tracer.Options{})
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 
 	// 2. Transform.
 	ruleSrc, err := os.ReadFile(*ruleFile)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	rule, err := rules.Parse(string(ruleSrc))
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	eng, err := xform.New(xform.Options{}, rule)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp = obs.Reg.StartSpan("dsx/transform")
 	transformed, err := eng.TransformAll(res.Records)
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	st := eng.Stats()
 	fmt.Printf("rule: %s  %s → %s\n", rule.Kind(), rule.InRoot(), rule.OutRoot())
@@ -81,7 +92,7 @@ func main() {
 
 	if *saveXform != "" {
 		if err := cliutil.WriteTrace(*saveXform, res.Header, transformed); err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 	}
 
@@ -96,13 +107,15 @@ func main() {
 	}
 
 	// 4. Simulate both sides on the same cache.
+	sp = obs.Reg.StartSpan("dsx/simulate")
 	before, err := simulate(res.Records, cfg)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	after, err := simulate(transformed, cfg)
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	bs, as := before.L1().Stats(), after.L1().Stats()
 	fmt.Printf("cache: %d B, %d-byte blocks, %d-way %s\n\n", cfg.Size, cfg.BlockSize, cfg.Assoc, cfg.Repl)
@@ -126,6 +139,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("transformed per-set occupancy:")
 	fmt.Print(analysis.FromSimulator("", after, false).Summary())
+	obs.Close()
 }
 
 func source(workload, srcFile string, defines cliutil.Defines) (string, map[string]string, error) {
@@ -162,10 +176,9 @@ func simulate(recs []trace.Record, cfg cache.Config) (*dinero.Simulator, error) 
 		return nil, err
 	}
 	sim.Process(recs)
+	sim.PublishTelemetry(obs.Reg)
 	return sim, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dsx:", err)
-	os.Exit(1)
-}
+// obs is the tool's observability context, set first thing in main.
+var obs *cliutil.Obs

@@ -40,40 +40,51 @@ func main() {
 	shadowAlign := fs.Int64("shadow-align", 0, "override base alignment of relocated structures (0 = automatic)")
 	quiet := fs.Bool("q", false, "suppress the summary line")
 	tf := cliutil.NewTraceFlags(fs, "dsxform")
+	of := cliutil.NewObsFlags(fs, "dsxform")
 	_ = fs.Parse(os.Args[1:])
 
-	if len(files) == 0 || fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "dsxform: usage: dsxform -rules FILE [-rules FILE …] TRACE")
+	var err error
+	obs, err = of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsxform:", err)
 		os.Exit(2)
+	}
+	if len(files) == 0 || fs.NArg() != 1 {
+		obs.Log.Error("usage: dsxform -rules FILE [-rules FILE …] TRACE")
+		obs.Exit(2)
 	}
 	var parsed []rules.Rule
 	for _, f := range files {
 		src, err := os.ReadFile(f)
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		r, err := rules.Parse(string(src))
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", f, err))
+			obs.Fatal(fmt.Errorf("%s: %w", f, err))
 		}
 		parsed = append(parsed, r)
 	}
 	eng, err := xform.New(xform.Options{ShadowAlign: *shadowAlign}, parsed...)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp := obs.Reg.StartSpan("dsxform/load")
 	h, hasHdr, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp = obs.Reg.StartSpan("dsxform/transform")
 	outRecs, err := eng.TransformAll(recs)
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	// A headerless input stays headerless, so byte-level round trips
 	// through tracediff keep working.
 	if err := cliutil.WriteTraceOpts(*out, h, hasHdr, outRecs); err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	if !*quiet {
 		st := eng.Stats()
@@ -81,12 +92,11 @@ func main() {
 		for _, r := range parsed {
 			desc = append(desc, fmt.Sprintf("%s %s→%s", r.Kind(), r.InRoot(), r.OutRoot()))
 		}
-		fmt.Fprintf(os.Stderr, "dsxform: %s: %d records, %d rewritten, %d inserted, %d passed\n",
-			strings.Join(desc, ", "), st.Total, st.Matched, st.Inserted, st.Passed)
+		obs.Log.Info(strings.Join(desc, ", "),
+			"records", st.Total, "rewritten", st.Matched, "inserted", st.Inserted, "passed", st.Passed)
 	}
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dsxform:", err)
-	os.Exit(1)
-}
+// obs is the tool's observability context, set first thing in main.
+var obs *cliutil.Obs

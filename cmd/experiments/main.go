@@ -54,7 +54,16 @@ func main() {
 	retries := fs.Int("retries", 0, "retry a task failing with a transient I/O error this many times")
 	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubled each attempt")
 	maxSteps := fs.Int64("max-steps", 0, "per-workload interpreter step budget; runaway workloads fail instead of hanging (0 = default limit)")
+	of := cliutil.NewObsFlags(fs, "experiments")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
+
+	var err error
+	obs, err = of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	experiments.SetParallelism(*par)
 	experiments.SetValidate(*validate)
@@ -78,24 +87,26 @@ func main() {
 	dir := *ckptDir
 	if *resumeDir != "" {
 		if dir != "" && dir != *resumeDir {
-			fatal(fmt.Errorf("-checkpoint %s and -resume %s name different directories", dir, *resumeDir))
+			obs.Fatal(fmt.Errorf("-checkpoint %s and -resume %s name different directories", dir, *resumeDir))
 		}
 		dir = *resumeDir
 	}
 	if dir != "" {
 		ck, err := experiments.OpenCheckpoint(dir)
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		if n := ck.Len(); n > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: resuming: %d finished tasks loaded from %s\n", n, dir)
+			obs.Log.Info("resuming: finished tasks loaded", "tasks", n, "dir", dir)
 		}
 		opts.Checkpoint = ck
 	}
 
 	exit := 0
 	if *sweeps {
+		sp := obs.Reg.StartSpan("phase/sweeps")
 		ss, err := experiments.SweepsOpts(ctx, opts)
+		sp.End()
 		if err != nil {
 			exit = reportRunError("sweeps", err, dir)
 		}
@@ -105,36 +116,41 @@ func main() {
 			}
 		}
 		if exit != 0 {
-			os.Exit(exit)
+			obs.Exit(exit)
 		}
 		if !*all && *fig == 0 {
+			obs.Close()
 			return
 		}
 	}
 	var results []*experiments.Result
 	switch {
 	case *all:
+		sp := obs.Reg.StartSpan("phase/figures")
 		rs, err := experiments.AllOpts(ctx, opts)
+		sp.End()
 		if err != nil {
 			exit = reportRunError("figures", err, dir)
 			if !isKeepGoing(err) {
-				os.Exit(exit)
+				obs.Exit(exit)
 			}
 		}
 		results = rs
 	case *fig != 0:
+		sp := obs.Reg.StartSpan("phase/figures")
 		r, err := experiments.Run(fmt.Sprintf("fig%d", *fig))
+		sp.End()
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		results = append(results, r)
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: need -all, -fig N or -sweep")
-		os.Exit(2)
+		obs.Log.Error("need -all, -fig N or -sweep")
+		obs.Exit(2)
 	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 	}
 	for _, r := range results {
@@ -163,12 +179,16 @@ func main() {
 		fmt.Println()
 		if *outdir != "" {
 			if err := writeArtifacts(*outdir, r, *diffWidth); err != nil {
-				fatal(err)
+				obs.Fatal(err)
 			}
 		}
 	}
-	os.Exit(exit)
+	obs.Exit(exit)
 }
+
+// obs is the tool's observability context; set first thing in main so
+// every exit path flushes profiles and the metrics manifest.
+var obs *cliutil.Obs
 
 // isKeepGoing reports whether err is (or wraps) the structured failure
 // list of a -keep-going run, i.e. the run completed with partial results.
@@ -181,12 +201,12 @@ func isKeepGoing(err error) bool {
 // run keeps its partial output, and interrupted checkpointed runs get a
 // resume hint.
 func reportRunError(phase string, err error, ckptDir string) int {
-	fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", phase, err)
+	obs.Log.Error(phase+" failed", "err", err.Error())
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		if ckptDir != "" {
-			fmt.Fprintf(os.Stderr, "experiments: interrupted; finished tasks are checkpointed — rerun with -resume %s\n", ckptDir)
+			obs.Log.Warn("interrupted; finished tasks are checkpointed — rerun with -resume "+ckptDir, "resume", ckptDir)
 		} else {
-			fmt.Fprintln(os.Stderr, "experiments: interrupted; rerun with -checkpoint DIR to make runs resumable")
+			obs.Log.Warn("interrupted; rerun with -checkpoint DIR to make runs resumable")
 		}
 		return 130
 	}
@@ -214,9 +234,4 @@ func writeArtifacts(dir string, r *experiments.Result, diffWidth int) error {
 		}
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

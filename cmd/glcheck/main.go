@@ -30,21 +30,29 @@ func main() {
 	maxDiags := fs.Int("max-diags", 100, "findings to keep per trace (counters keep counting)")
 	maxLine := fs.Int("max-line-bytes", 0, "maximum trace line length in bytes (0 = 1 MiB default)")
 	noRegions := fs.Bool("no-region-checks", false, "skip memmodel address-region checks (traces from real binaries)")
+	of := cliutil.NewObsFlags(fs, "glcheck")
 	_ = fs.Parse(os.Args[1:])
 
-	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "glcheck: usage: glcheck TRACE [TRACE ...] (- for stdin)")
+	obs, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glcheck:", err)
 		os.Exit(2)
+	}
+	if fs.NArg() == 0 {
+		obs.Log.Error("usage: glcheck TRACE [TRACE ...] (- for stdin)")
+		obs.Exit(2)
 	}
 	exit := 0
 	for _, path := range fs.Args() {
+		sp := obs.Reg.StartSpan("glcheck/validate")
 		rep, err := checkOne(path, trace.ValidateOptions{
 			MaxDiags:         *maxDiags,
 			MaxLineBytes:     *maxLine,
 			SkipRegionChecks: *noRegions,
 		})
+		sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "glcheck: %s: %v\n", path, err)
+			obs.Log.Error("validate failed", "path", path, "err", err.Error())
 			exit = 2
 			continue
 		}
@@ -56,7 +64,7 @@ func main() {
 			fmt.Printf("%s: %s", path, rep.Summary())
 		}
 	}
-	os.Exit(exit)
+	obs.Exit(exit)
 }
 
 func checkOne(path string, opts trace.ValidateOptions) (*trace.Report, error) {

@@ -27,17 +27,26 @@ func main() {
 	window := fs.Int("window", 256, "timeline window size in records")
 	block := fs.Int64("bsize", 32, "block size for reuse-distance profiling")
 	tf := cliutil.NewTraceFlags(fs, "glprof")
+	of := cliutil.NewObsFlags(fs, "glprof")
 	_ = fs.Parse(os.Args[1:])
 
-	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "glprof: need exactly one trace file argument (- for stdin)")
+	var err error
+	obs, err = of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glprof:", err)
 		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		obs.Log.Error("need exactly one trace file argument (- for stdin)")
+		obs.Exit(2)
 	}
 	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp := obs.Reg.StartSpan("glprof/profile")
 	fmt.Print(profile.New(recs).Report())
+	sp.End()
 
 	if *reuse {
 		r := analysis.ReuseDistances(recs, *block)
@@ -53,11 +62,11 @@ func main() {
 	if *timeline {
 		cfg, err := l1.Build()
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		tl, err := analysis.MissTimeline(recs, cfg, *window)
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		fmt.Println()
 		fmt.Printf("miss-rate timeline (%d-record windows on %s/%d/%d-way):\n",
@@ -68,6 +77,7 @@ func main() {
 				peak.StartRecord, 100*peak.Ratio())
 		}
 	}
+	obs.Close()
 }
 
 func byteSize(n int64) string {
@@ -77,7 +87,5 @@ func byteSize(n int64) string {
 	return fmt.Sprint(n)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "glprof:", err)
-	os.Exit(1)
-}
+// obs is the tool's observability context, set first thing in main.
+var obs *cliutil.Obs

@@ -36,8 +36,15 @@ func main() {
 	format := fs.String("format", "gleipnir", "output format: gleipnir | din (classic DineroIV input)")
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	of := cliutil.NewObsFlags(fs, "gltrace")
 	_ = fs.Parse(os.Args[1:])
 
+	var err error
+	obs, err = of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gltrace:", err)
+		os.Exit(2)
+	}
 	if *list {
 		names := make([]string, 0, len(workloads.Named))
 		for n := range workloads.Named {
@@ -47,16 +54,19 @@ func main() {
 		for _, n := range names {
 			fmt.Printf("%-14s %s\n", n, workloads.Named[n].About)
 		}
+		obs.Close()
 		return
 	}
 
 	src, defs, err := resolveSource(*workload, *srcFile, defines)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp := obs.Reg.StartSpan("gltrace/trace")
 	res, err := tracer.Run(src, defs, tracer.Options{PID: *pid, TraceAll: *traceAll})
+	sp.End()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	records := res.Records
 	var preds []trace.Pred
@@ -71,7 +81,7 @@ func main() {
 		for i := 0; i < len(*onlyOps); i++ {
 			op := trace.Op((*onlyOps)[i])
 			if !op.Valid() {
-				fatal(fmt.Errorf("gltrace: bad op %q in -only-ops", (*onlyOps)[i]))
+				obs.Fatal(fmt.Errorf("bad op %q in -only-ops", (*onlyOps)[i]))
 			}
 			ops = append(ops, op)
 		}
@@ -83,7 +93,7 @@ func main() {
 	switch *format {
 	case "gleipnir":
 		if err := cliutil.WriteTrace(*out, res.Header, records); err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 	case "din":
 		err := cliutil.WriteTo(*out, func(w io.Writer) error {
@@ -91,13 +101,17 @@ func main() {
 			return werr
 		})
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("gltrace: unknown format %q", *format))
+		obs.Fatal(fmt.Errorf("unknown format %q", *format))
 	}
-	fmt.Fprintf(os.Stderr, "gltrace: %d records (program returned %d)\n", len(records), res.Return)
+	obs.Log.Info("trace written", "records", len(records), "returned", res.Return)
+	obs.Close()
 }
+
+// obs is the tool's observability context, set first thing in main.
+var obs *cliutil.Obs
 
 func resolveSource(workload, srcFile string, defines cliutil.Defines) (string, map[string]string, error) {
 	switch {
@@ -125,9 +139,4 @@ func resolveSource(workload, srcFile string, defines cliutil.Defines) (string, m
 	default:
 		return "", nil, fmt.Errorf("gltrace: need -w or -src (see -list)")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

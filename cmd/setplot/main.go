@@ -26,25 +26,34 @@ func main() {
 	width := fs.Int("width", 40, "ASCII bar width")
 	noSym := fs.Bool("nosym", false, "include unannotated records as a (nosym) series")
 	tf := cliutil.NewTraceFlags(fs, "setplot")
+	of := cliutil.NewObsFlags(fs, "setplot")
 	_ = fs.Parse(os.Args[1:])
 
-	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "setplot: need exactly one trace file argument (- for stdin)")
+	obs, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setplot:", err)
 		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		obs.Log.Error("need exactly one trace file argument (- for stdin)")
+		obs.Exit(2)
 	}
 	cfg, err := l1.Build()
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	sim, err := dinero.New(dinero.Options{L1: cfg})
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp := obs.Reg.StartSpan("setplot/simulate")
 	sim.Process(recs)
+	sp.End()
+	sim.PublishTelemetry(obs.Reg)
 	p := analysis.FromSimulator(*title, sim, *noSym)
 	switch *format {
 	case "ascii":
@@ -56,11 +65,7 @@ func main() {
 	case "summary":
 		fmt.Print(p.Summary())
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		obs.Fatal(fmt.Errorf("unknown format %q", *format))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "setplot:", err)
-	os.Exit(1)
+	obs.Close()
 }

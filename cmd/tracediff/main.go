@@ -23,21 +23,29 @@ func main() {
 	width := fs.Int("w", 52, "column width of each side")
 	statsOnly := fs.Bool("stats-only", false, "print only the summary")
 	tf := cliutil.NewTraceFlags(fs, "tracediff")
+	of := cliutil.NewObsFlags(fs, "tracediff")
 	_ = fs.Parse(os.Args[1:])
 
-	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "tracediff: usage: tracediff ORIGINAL TRANSFORMED")
+	obs, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
 		os.Exit(2)
+	}
+	if fs.NArg() != 2 {
+		obs.Log.Error("usage: tracediff ORIGINAL TRANSFORMED")
+		obs.Exit(2)
 	}
 	_, _, a, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	_, _, b, err := cliutil.LoadTraceOpts(fs.Arg(1), tf.Options())
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
+	sp := obs.Reg.StartSpan("tracediff/align")
 	d := tracediff.New(a, b)
+	sp.End()
 	if !*statsOnly {
 		fmt.Print(d.SideBySide(*width))
 		fmt.Println()
@@ -57,9 +65,5 @@ func main() {
 			fmt.Printf("  %-28s %d lines\n", n, cv[n])
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracediff:", err)
-	os.Exit(1)
+	obs.Close()
 }

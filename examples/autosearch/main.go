@@ -10,13 +10,14 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"sort"
 
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
 	"tracedst/internal/rules"
 	"tracedst/internal/trace"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/tracer"
 	"tracedst/internal/xform"
 )
@@ -89,7 +90,7 @@ struct recsOut { int hot; double warm1; double warm2; * coldpart:coldpool; }[256
 func main() {
 	res, err := tracer.Run(program, nil, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("traced %d records; exploring %d candidate layouts\n\n", len(res.Records), len(candidates))
 
@@ -105,15 +106,15 @@ func main() {
 		if c.rule != "" {
 			rule, err := rules.Parse(c.rule)
 			if err != nil {
-				log.Fatalf("%s: %v", c.name, err)
+				fatal(fmt.Errorf("%s: %v", c.name, err))
 			}
 			eng, err := xform.New(xform.Options{}, rule)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			recs, err = eng.TransformAll(res.Records)
 			if err != nil {
-				log.Fatalf("%s: %v", c.name, err)
+				fatal(fmt.Errorf("%s: %v", c.name, err))
 			}
 		}
 		outcomes = append(outcomes, outcome{c.name, misses(recs, cfg), len(recs)})
@@ -136,8 +137,17 @@ func main() {
 func misses(recs []trace.Record, cfg cache.Config) int64 {
 	sim, err := dinero.New(dinero.Options{L1: cfg})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sim.Process(recs)
 	return sim.L1().Stats().Misses()
+}
+
+// Errors go through the telemetry sink, so the example fails the same way
+// the CLIs do (and stays machine-parseable under a JSON logger).
+func init() { telemetry.UseTextLogger("autosearch") }
+
+func fatal(err error) {
+	telemetry.L().Error(err.Error())
+	os.Exit(1)
 }

@@ -9,12 +9,13 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
 	"tracedst/internal/rules"
 	"tracedst/internal/trace"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/tracer"
 	"tracedst/internal/workloads"
 	"tracedst/internal/xform"
@@ -47,21 +48,21 @@ int main(void) {
 func main() {
 	res, err := tracer.Run(hotLoop, map[string]string{"N": fmt.Sprint(n)}, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	ruleSrc := workloads.RuleTrans2ForLen(n)
 	rule, err := rules.Parse(ruleSrc)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	eng, err := xform.New(xform.Options{}, rule)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	transformed, err := eng.TransformAll(res.Records)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// A small cache makes the density effect visible: the inline layout
@@ -95,15 +96,15 @@ func main() {
 	// touches hot AND cold members, to see the inserted pointer loads.
 	full, err := tracer.Run(workloads.Trans2Inline, map[string]string{"LEN": fmt.Sprint(n)}, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	eng2, err := xform.New(xform.Options{}, mustRule(ruleSrc))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fullT, err := eng2.TransformAll(full.Records)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nfull loop (hot+cold): %d records → %d (%d pointer loads inserted)\n",
 		len(full.Records), len(fullT), eng2.Stats().Inserted)
@@ -112,7 +113,7 @@ func main() {
 func mustRule(src string) rules.Rule {
 	r, err := rules.Parse(src)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	return r
 }
@@ -120,8 +121,17 @@ func mustRule(src string) rules.Rule {
 func simulate(recs []trace.Record, cfg cache.Config) *dinero.Simulator {
 	sim, err := dinero.New(dinero.Options{L1: cfg})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sim.Process(recs)
 	return sim
+}
+
+// Errors go through the telemetry sink, so the example fails the same way
+// the CLIs do (and stays machine-parseable under a JSON logger).
+func init() { telemetry.UseTextLogger("hotcold-outline") }
+
+func fatal(err error) {
+	telemetry.L().Error(err.Error())
+	os.Exit(1)
 }

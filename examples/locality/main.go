@@ -9,11 +9,12 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"tracedst/internal/analysis"
 	"tracedst/internal/profile"
 	"tracedst/internal/trace"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/tracer"
 	"tracedst/internal/workloads"
 )
@@ -24,11 +25,11 @@ func main() {
 	defines := map[string]string{"N": fmt.Sprint(n)}
 	aos, err := tracer.Run(workloads.ParticlesAoS, defines, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	soa, err := tracer.Run(workloads.ParticlesSoA, defines, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// Working-set comparison from the memory profile.
@@ -57,4 +58,13 @@ func main() {
 	fmt.Print(ra.Histogram())
 	fmt.Println()
 	fmt.Print(rs.Histogram())
+}
+
+// Errors go through the telemetry sink, so the example fails the same way
+// the CLIs do (and stays machine-parseable under a JSON logger).
+func init() { telemetry.UseTextLogger("locality") }
+
+func fatal(err error) {
+	telemetry.L().Error(err.Error())
+	os.Exit(1)
 }

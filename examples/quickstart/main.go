@@ -6,13 +6,23 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"tracedst/internal/analysis"
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/tracer"
 )
+
+// Errors go through the telemetry sink, so the example fails the same way
+// the CLIs do (and stays machine-parseable under a JSON logger).
+func init() { telemetry.UseTextLogger("quickstart") }
+
+func fatal(err error) {
+	telemetry.L().Error(err.Error())
+	os.Exit(1)
+}
 
 // A miniC program: sum a global array. The GLEIPNIR markers bound the
 // traced region, exactly as with the real Gleipnir tool.
@@ -36,7 +46,7 @@ func main() {
 	// 1. Trace the program (Gleipnir's role).
 	res, err := tracer.Run(program, nil, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("traced %d memory accesses; program returned %d\n\n", len(res.Records), res.Return)
 
@@ -51,7 +61,7 @@ func main() {
 	//    paper's geometry for Figures 3-8).
 	sim, err := dinero.New(dinero.Options{L1: cache.Paper32KDirect()})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sim.Process(res.Records)
 	fmt.Print(sim.Report())

@@ -11,13 +11,14 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"tracedst/internal/analysis"
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
 	"tracedst/internal/rules"
 	"tracedst/internal/trace"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/tracer"
 	"tracedst/internal/workloads"
 	"tracedst/internal/xform"
@@ -29,19 +30,19 @@ func main() {
 	defines := map[string]string{"LEN": fmt.Sprint(n)}
 	orig, err := tracer.Run(workloads.Trans3Contiguous, defines, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	rule, err := rules.Parse(workloads.RuleTrans3ForLen(n, 16, 8))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	eng, err := xform.New(xform.Options{}, rule)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	pinned, err := eng.TransformAll(orig.Records)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	before := simulate(orig.Records)
@@ -51,7 +52,7 @@ func main() {
 		p := analysis.FromSimulator(tag, sim, false)
 		s, ok := p.SeriesByLabel(arrVar)
 		if !ok {
-			log.Fatalf("%s series missing", arrVar)
+			fatal(fmt.Errorf("%s series missing", arrVar))
 		}
 		occ := analysis.OccupancyOf(s)
 		fmt.Printf("%-12s %-20s sets touched: %2d  dominant set %2d (%.0f%%)  misses %d\n",
@@ -65,7 +66,7 @@ func main() {
 	// count how many of the 128 blocks survive the sweep.
 	c, err := cache.New(cache.PowerPC440(), nil)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var blocks []uint64
 	seen := map[uint64]bool{}
@@ -92,8 +93,17 @@ func main() {
 func simulate(recs []trace.Record) *dinero.Simulator {
 	sim, err := dinero.New(dinero.Options{L1: cache.PowerPC440()})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sim.Process(recs)
 	return sim
+}
+
+// Errors go through the telemetry sink, so the example fails the same way
+// the CLIs do (and stays machine-parseable under a JSON logger).
+func init() { telemetry.UseTextLogger("set-pinning") }
+
+func fatal(err error) {
+	telemetry.L().Error(err.Error())
+	os.Exit(1)
 }

@@ -8,7 +8,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"tracedst/internal/analysis"
 	"tracedst/internal/cache"
@@ -16,6 +16,7 @@ import (
 	"tracedst/internal/rules"
 	"tracedst/internal/trace"
 	"tracedst/internal/tracediff"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/tracer"
 	"tracedst/internal/workloads"
 	"tracedst/internal/xform"
@@ -29,21 +30,21 @@ func main() {
 	// 1. Trace the original structure-of-arrays program (Listing 4).
 	orig, err := tracer.Run(workloads.Trans1SoA, defines, tracer.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// 2. Apply the Listing 5 rule to explore the AoS layout.
 	rule, err := rules.Parse(workloads.RuleTrans1ForLen(n))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	eng, err := xform.New(xform.Options{}, rule)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	transformed, err := eng.TransformAll(orig.Records)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	st := eng.Stats()
 	fmt.Printf("rule %s: %d/%d records rewritten (%s → %s)\n\n",
@@ -95,8 +96,17 @@ func main() {
 func simulate(recs []trace.Record, cfg cache.Config) *dinero.Simulator {
 	sim, err := dinero.New(dinero.Options{L1: cfg})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sim.Process(recs)
 	return sim
+}
+
+// Errors go through the telemetry sink, so the example fails the same way
+// the CLIs do (and stays machine-parseable under a JSON logger).
+func init() { telemetry.UseTextLogger("soa-aos") }
+
+func fatal(err error) {
+	telemetry.L().Error(err.Error())
+	os.Exit(1)
 }

@@ -4,6 +4,7 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strings"
 
 	"tracedst/internal/cache"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
 
@@ -147,16 +149,25 @@ func NewTraceFlags(fs *flag.FlagSet, tool string) *TraceFlags {
 	}
 }
 
-// Options builds the decoder options. In lenient mode every skipped line is
-// reported on stderr as "<tool>: skipping line N: <reason>".
+// Options builds the decoder options. In lenient mode every skipped line
+// is reported through the telemetry logger as a warning whose message is
+// "skipping line N: <reason>" (text format renders the traditional
+// "<tool>: skipping line N: ..." stderr line) and counted by failure
+// class under trace.decode.bad_lines.
 func (tf *TraceFlags) Options() trace.DecodeOptions {
 	opts := trace.DecodeOptions{MaxLineBytes: *tf.maxLine}
 	if *tf.lenient {
 		opts.Mode = trace.Lenient
 		opts.MaxBadLines = *tf.maxBad
-		tool := tf.tool
 		opts.OnError = func(line int, text string, err error) {
-			fmt.Fprintf(os.Stderr, "%s: skipping line %d: %v\n", tool, line, err)
+			reg := telemetry.Default()
+			reg.Counter("trace.decode.bad_lines").Inc()
+			if errors.Is(err, trace.ErrLineTooLong) {
+				reg.Counter("trace.decode.bad_lines.line_len").Inc()
+			} else {
+				reg.Counter("trace.decode.bad_lines.parse").Inc()
+			}
+			telemetry.L().Warn(fmt.Sprintf("skipping line %d: %v", line, err))
 		}
 	}
 	return opts
@@ -197,6 +208,9 @@ func LoadTraceOpts(path string, opts trace.DecodeOptions) (h trace.Header, hasHd
 		return h, rd.HasHeader(), nil, err
 	}
 	recs, err = rd.ReadAll()
+	reg := telemetry.Default()
+	reg.Counter("trace.decode.files").Inc()
+	reg.Counter("trace.decode.records").Add(int64(len(recs)))
 	return h, rd.HasHeader(), recs, err
 }
 

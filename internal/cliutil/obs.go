@@ -1,0 +1,171 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"tracedst/internal/telemetry"
+)
+
+// ObsFlags registers the observability flags shared by every CLI:
+// -v, -log-format, -metrics-out and -progress; tools that can run long
+// enough to profile add -pprof, -cpuprofile and -memprofile via
+// AddProfileFlags.
+type ObsFlags struct {
+	tool       string
+	verbose    *bool
+	logFormat  *string
+	metricsOut *string
+	progress   *time.Duration
+	pprofAddr  *string
+	cpuProfile *string
+	memProfile *string
+}
+
+// NewObsFlags registers the shared observability flags on fs. tool names
+// the program in log lines and the metrics manifest.
+func NewObsFlags(fs *flag.FlagSet, tool string) *ObsFlags {
+	return &ObsFlags{
+		tool:       tool,
+		verbose:    fs.Bool("v", false, "verbose: emit debug events (per-phase spans, rates)"),
+		logFormat:  fs.String("log-format", telemetry.FormatText, "log sink format: text | json (one JSON object per stderr line)"),
+		metricsOut: fs.String("metrics-out", "", "write the end-of-run metrics manifest (JSON) to this file (- for stdout)"),
+		progress:   fs.Duration("progress", 0, "emit a progress line with ETA at this interval during batch runs (0 = off)"),
+	}
+}
+
+// AddProfileFlags registers -pprof, -cpuprofile and -memprofile — the
+// live and post-mortem profiling hooks for the long-running tools.
+func (of *ObsFlags) AddProfileFlags(fs *flag.FlagSet) {
+	of.pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+	of.cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	of.memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+}
+
+// Obs is a started observability context: the tool's logger and registry
+// (also installed as the telemetry process defaults), plus the profiling
+// state unwound by Close.
+type Obs struct {
+	Tool string
+	Log  *slog.Logger
+	Reg  *telemetry.Registry
+
+	metricsOut string
+	memProfile string
+	cpuFile    *os.File
+	pprofLn    net.Listener
+}
+
+// Start builds the logger and a fresh registry from the parsed flags,
+// installs both as the telemetry defaults, and begins any requested
+// profiling. Call Close before exiting (also on the error path — it
+// flushes profiles and writes the metrics manifest).
+func (of *ObsFlags) Start() (*Obs, error) {
+	log, err := telemetry.NewLogger(os.Stderr, of.tool, *of.logFormat, *of.verbose)
+	if err != nil {
+		return nil, err
+	}
+	o := &Obs{
+		Tool:       of.tool,
+		Log:        log,
+		Reg:        telemetry.NewRegistry(),
+		metricsOut: *of.metricsOut,
+	}
+	telemetry.SetLogger(log)
+	telemetry.SetDefault(o.Reg)
+	telemetry.SetProgressInterval(*of.progress)
+
+	if of.pprofAddr != nil && *of.pprofAddr != "" {
+		ln, err := net.Listen("tcp", *of.pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -pprof: %w", of.tool, err)
+		}
+		o.pprofLn = ln
+		go func() {
+			// The default mux carries the pprof handlers; Serve only
+			// returns once the listener closes at shutdown.
+			srv := &http.Server{Handler: http.DefaultServeMux}
+			_ = srv.Serve(ln)
+		}()
+		log.Info("pprof listening", "addr", ln.Addr().String())
+	}
+	if of.cpuProfile != nil && *of.cpuProfile != "" {
+		f, err := os.Create(*of.cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", of.tool, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", of.tool, err)
+		}
+		o.cpuFile = f
+	}
+	if of.memProfile != nil {
+		o.memProfile = *of.memProfile
+	}
+	return o, nil
+}
+
+// Close unwinds what Start began: stops the CPU profile, writes the heap
+// profile, shuts the pprof listener, and writes the metrics manifest
+// atomically. Safe to call exactly once, right before process exit.
+func (o *Obs) Close() error {
+	var first error
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := o.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		o.cpuFile = nil
+	}
+	if o.memProfile != "" {
+		if err := writeHeapProfile(o.memProfile); err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.pprofLn != nil {
+		o.pprofLn.Close()
+		o.pprofLn = nil
+	}
+	if o.metricsOut != "" {
+		if err := o.Reg.Snapshot(o.Tool).WriteFile(o.metricsOut); err != nil && first == nil {
+			first = err
+		} else if o.metricsOut != "-" {
+			o.Log.Debug("metrics manifest written", "path", o.metricsOut)
+		}
+	}
+	return first
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	return pprof.WriteHeapProfile(f)
+}
+
+// Fatal logs err through the tool's sink and exits with status 1,
+// flushing profiles and the metrics manifest first. The shared
+// last-resort error path of every CLI main.
+func (o *Obs) Fatal(err error) {
+	o.Log.Error(err.Error())
+	o.Close()
+	os.Exit(1)
+}
+
+// Exit flushes observability state and exits with the given status.
+func (o *Obs) Exit(code int) {
+	o.Close()
+	os.Exit(code)
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"tracedst/internal/cache"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
 
@@ -58,6 +59,9 @@ type VarSeries struct {
 	Hits     int64
 	Misses   int64
 	PerSet   []cache.SetStats
+	// PageAllocs counts the 64-set pages lazily allocated for this
+	// series — the memory-vs-coverage signal telemetry reports.
+	PageAllocs int64
 
 	// pages backs PerSet sparsely: one 64-set page per touched region, so
 	// large-cache sweeps with many variables stop paying O(vars×sets)
@@ -81,6 +85,7 @@ func (vs *VarSeries) touch(set int, hit bool) {
 	if pg == nil {
 		pg = make([]cache.SetStats, perSetPage)
 		vs.pages[set/perSetPage] = pg
+		vs.PageAllocs++
 	}
 	if hit {
 		pg[set%perSetPage].Hits++
@@ -301,6 +306,33 @@ func (s *Simulator) ProcessReader(rd *trace.Reader) error {
 		}
 		s.Feed(&rec)
 	}
+}
+
+// PageAllocs returns how many 64-set series pages the simulation
+// allocated across all variables.
+func (s *Simulator) PageAllocs() int64 {
+	var n int64
+	for _, vs := range s.varsByID {
+		if vs != nil {
+			n += vs.PageAllocs
+		}
+	}
+	return n
+}
+
+// PublishTelemetry adds this simulation's totals to reg: records consumed,
+// cache accesses by outcome, ignored records and lazy set-page
+// allocations. It is a cold-path publish — the per-access loop stays
+// untouched — so callers invoke it once per finished simulation.
+func (s *Simulator) PublishTelemetry(reg *telemetry.Registry) {
+	st := s.l1.Stats()
+	reg.Counter("dinero.sims").Inc()
+	reg.Counter("dinero.records_simulated").Add(s.records)
+	reg.Counter("dinero.records_ignored").Add(s.ignored)
+	reg.Counter("dinero.accesses").Add(st.Accesses())
+	reg.Counter("dinero.hits").Add(st.Hits())
+	reg.Counter("dinero.misses").Add(st.Misses())
+	reg.Counter("dinero.page_allocs").Add(s.PageAllocs())
 }
 
 // Var returns the series for one variable (nil when unseen).

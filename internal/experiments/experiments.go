@@ -15,6 +15,7 @@ import (
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
 	"tracedst/internal/rules"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 	"tracedst/internal/tracediff"
 	"tracedst/internal/tracer"
@@ -239,14 +240,32 @@ func transformT2Hot() ([]trace.Record, error) {
 }
 
 // simulate runs records through a fresh simulator attributing against the
-// shared intern table (the records' ids were issued by it).
+// shared intern table (the records' ids were issued by it), publishing
+// the finished simulation's counters to the default registry.
 func simulate(recs []trace.Record, cfg cache.Config) (*dinero.Simulator, error) {
 	sim, err := dinero.New(dinero.Options{L1: cfg, Syms: sharedSyms})
 	if err != nil {
 		return nil, err
 	}
 	sim.Process(recs)
+	reg := telemetry.Default()
+	reg.Counter("experiments.records_in").Add(int64(len(recs)))
+	sim.PublishTelemetry(reg)
 	return sim, nil
+}
+
+// ckptCounters caches the checkpoint hit/miss/put counters for one run.
+type ckptCounters struct {
+	hits, misses, puts *telemetry.Counter
+}
+
+func checkpointCounters() ckptCounters {
+	reg := telemetry.Default()
+	return ckptCounters{
+		hits:   reg.Counter("experiments.checkpoint.hits"),
+		misses: reg.Counter("experiments.checkpoint.misses"),
+		puts:   reg.Counter("experiments.checkpoint.puts"),
+	}
 }
 
 func histogramResult(id, title string, recs []trace.Record, cfg cache.Config) (*Result, error) {
@@ -532,6 +551,7 @@ func AllOpts(ctx context.Context, opts RunOptions) ([]*Result, error) {
 	ids := IDs()
 	out := make([]*Result, len(ids))
 	name := func(i int) string { return ids[i] }
+	ck := checkpointCounters()
 	err := forEachPolicy(ctx, opts.Policy, opts.workerCount(), len(ids), name, func(_ context.Context, i int) error {
 		id := ids[i]
 		ckptKey := "fig/" + id
@@ -540,9 +560,11 @@ func AllOpts(ctx context.Context, opts RunOptions) ([]*Result, error) {
 			if ok, err := opts.Checkpoint.Get(ckptKey, &saved); err != nil {
 				return err
 			} else if ok {
+				ck.hits.Inc()
 				out[i] = &saved
 				return nil
 			}
+			ck.misses.Inc()
 		}
 		r, err := Run(id)
 		if err != nil {
@@ -550,6 +572,7 @@ func AllOpts(ctx context.Context, opts RunOptions) ([]*Result, error) {
 		}
 		out[i] = r
 		if opts.Checkpoint != nil {
+			ck.puts.Inc()
 			return opts.Checkpoint.Put(ckptKey, r)
 		}
 		return nil

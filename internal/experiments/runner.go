@@ -5,7 +5,10 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
 
@@ -78,6 +81,97 @@ func forEach(ctx context.Context, workers, n int, f func(context.Context, int) e
 	return forEachPolicy(ctx, RunPolicy{}, workers, n, nil, f)
 }
 
+// runInstruments is the telemetry of one pooled run: per-task counters
+// and spans, the task-duration histogram, worker busy time for the
+// utilization gauge, and the periodic progress line. Everything it
+// touches is atomic or registry-internal, so workers share it freely.
+type runInstruments struct {
+	reg    *telemetry.Registry
+	tasks  *telemetry.Counter
+	ok     *telemetry.Counter
+	failed *telemetry.Counter
+	retry  *telemetry.Counter
+	panics *telemetry.Counter
+	taskNS *telemetry.Histogram
+	prog   *telemetry.Progress
+	busyNS atomic.Int64
+	start  time.Time
+}
+
+func newRunInstruments(n int) *runInstruments {
+	reg := telemetry.Default()
+	return &runInstruments{
+		reg:    reg,
+		tasks:  reg.Counter("experiments.tasks"),
+		ok:     reg.Counter("experiments.tasks_ok"),
+		failed: reg.Counter("experiments.tasks_failed"),
+		retry:  reg.Counter("experiments.retries"),
+		panics: reg.Counter("experiments.panics"),
+		taskNS: reg.Histogram("experiments.task_ns"),
+		prog:   telemetry.StartProgress("tasks", n, telemetry.ProgressInterval()),
+		start:  time.Now(),
+	}
+}
+
+// runTask wraps the raw policy runner with a span, the duration
+// histogram, progress accounting, and — on failure — one structured
+// event per TaskError/PanicError emitted the moment it happens (the
+// -keep-going sink: failures surface immediately, not only in the final
+// error list).
+func (ins *runInstruments) runTask(ctx context.Context, pol *RunPolicy, i int, label string, f func(context.Context, int) error) (int, error) {
+	sp := ins.reg.StartSpan("task/" + label)
+	attempts, err := runTask(ctx, pol, i, f)
+	wall := sp.End()
+	ins.busyNS.Add(int64(wall))
+	ins.taskNS.Observe(int64(wall))
+	ins.tasks.Inc()
+	if attempts > 1 {
+		ins.retry.Add(int64(attempts - 1))
+	}
+	ins.prog.Add(1)
+	if err == nil {
+		ins.ok.Inc()
+		return attempts, nil
+	}
+	ins.failed.Inc()
+	attrs := []any{"task", label, "attempts", attempts, "err", err.Error()}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		ins.panics.Inc()
+		attrs = []any{"task", label, "attempts", attempts, "panic", true,
+			"err", toString(pe.Value), "stack", string(pe.Stack)}
+	}
+	telemetry.L().Error("task failed", attrs...)
+	return attempts, err
+}
+
+// finish closes the progress line and records worker utilization: the
+// fraction of worker-seconds actually spent inside tasks.
+func (ins *runInstruments) finish(workers int) {
+	ins.prog.Stop()
+	elapsed := time.Since(ins.start)
+	if workers < 1 || elapsed <= 0 {
+		return
+	}
+	ins.reg.Gauge("experiments.workers").Set(int64(workers))
+	util := 100 * ins.busyNS.Load() / (int64(elapsed) * int64(workers))
+	if util > 100 {
+		util = 100 // rounding under near-full load
+	}
+	ins.reg.Gauge("experiments.worker_utilization_pct").Set(util)
+}
+
+// toString renders a recovered panic value for a structured event.
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return "panic"
+}
+
 // forEachPolicy runs f(ctx, i) for every i in [0, n) on a pool of workers
 // under pol. Every invocation is panic-isolated (a panicking task becomes a
 // *PanicError, the pool and process survive), deadline-bounded and retried
@@ -97,13 +191,25 @@ func forEachPolicy(ctx context.Context, pol RunPolicy, workers, n int, name func
 	if workers > n {
 		workers = n
 	}
+	label := func(i int) string {
+		if name != nil {
+			return name(i)
+		}
+		return "task"
+	}
+	ins := newRunInstruments(n)
+	effWorkers := workers
+	if effWorkers < 1 {
+		effWorkers = 1
+	}
+	defer ins.finish(effWorkers)
 	if workers <= 1 {
 		var tes TaskErrors
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return keepGoingResult(tes, err)
 			}
-			attempts, err := runTask(ctx, &pol, i, f)
+			attempts, err := ins.runTask(ctx, &pol, i, label(i), f)
 			if err != nil {
 				if !pol.KeepGoing {
 					return taskErr(i, attempts, err)
@@ -149,7 +255,7 @@ func forEachPolicy(ctx context.Context, pol RunPolicy, workers, n int, name func
 				if runCtx.Err() != nil {
 					continue // drain without working after cancellation
 				}
-				attempts, err := runTask(runCtx, &pol, i, f)
+				attempts, err := ins.runTask(runCtx, &pol, i, label(i), f)
 				if err != nil {
 					fail(taskErr(i, attempts, err))
 					continue

@@ -7,6 +7,7 @@ import (
 
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
 
@@ -75,7 +76,9 @@ const simChunk = 1 << 16
 
 // missesAt simulates recs in chunks, polling ctx between chunks so a
 // per-task deadline or a cancelled run stops mid-simulation instead of
-// after it.
+// after it. Completed simulations publish their counters (records in and
+// simulated, outcomes, page allocations) to the default registry — after
+// the hot loop, so the per-access path stays allocation-free.
 func missesAt(ctx context.Context, recs []trace.Record, cfg cache.Config) (int64, error) {
 	sim, err := dinero.New(dinero.Options{L1: cfg, Syms: sharedSyms})
 	if err != nil {
@@ -91,6 +94,9 @@ func missesAt(ctx context.Context, recs []trace.Record, cfg cache.Config) (int64
 		}
 		sim.Process(recs[start:end])
 	}
+	reg := telemetry.Default()
+	reg.Counter("experiments.records_in").Add(int64(len(recs)))
+	sim.PublishTelemetry(reg)
 	return sim.L1().Stats().Misses(), nil
 }
 
@@ -186,6 +192,7 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 		}
 	}
 	name := func(ti int) string { return key(tasks[ti]) }
+	ck := checkpointCounters()
 	err := forEachPolicy(ctx, opts.Policy, opts.workerCount(), len(tasks), name, func(ctx context.Context, ti int) error {
 		tk := tasks[ti]
 		if opts.Checkpoint != nil {
@@ -193,9 +200,11 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 			if ok, err := opts.Checkpoint.Get(key(tk), &saved); err != nil {
 				return err
 			} else if ok {
+				ck.hits.Inc()
 				store(tk, saved.Misses)
 				return nil
 			}
+			ck.misses.Inc()
 		}
 		sp := specs[tk.spec]
 		recsOf := sp.orig
@@ -212,6 +221,7 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 		}
 		store(tk, m)
 		if opts.Checkpoint != nil {
+			ck.puts.Inc()
 			return opts.Checkpoint.Put(key(tk), sweepEntry{Misses: m})
 		}
 		return nil

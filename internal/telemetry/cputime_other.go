@@ -1,0 +1,8 @@
+//go:build !unix
+
+package telemetry
+
+import "time"
+
+// processCPU is unavailable off unix; spans report zero CPU time there.
+func processCPU() time.Duration { return 0 }

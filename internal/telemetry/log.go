@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Log formats accepted by NewLogger (the -log-format flag values).
+const (
+	FormatText = "text" // human-oriented "tool: msg k=v" lines
+	FormatJSON = "json" // one JSON object per line via log/slog
+)
+
+// NewLogger builds a logger writing to w in the given format. tool
+// prefixes every line (text) or is attached as a "tool" attribute
+// (json). verbose lowers the threshold to debug, which also makes
+// completed spans emit events.
+func NewLogger(w io.Writer, tool, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	switch format {
+	case FormatText, "":
+		return slog.New(&humanHandler{w: w, tool: tool, level: level, mu: &sync.Mutex{}}), nil
+	case FormatJSON:
+		h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+		return slog.New(h).With("tool", tool), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (text|json)", format)
+	}
+}
+
+// Nop returns a logger that discards everything — the default sink, so
+// library users pay nothing until a CLI installs a real one.
+func Nop() *slog.Logger { return slog.New(discardHandler{}) }
+
+// UseTextLogger installs a human-format stderr logger as the process
+// default — the one-liner for examples and small programs that don't
+// carry the full CLI flag set. Respects TRACEDST_LOG_FORMAT=json.
+func UseTextLogger(tool string) {
+	format := FormatText
+	if os.Getenv("TRACEDST_LOG_FORMAT") == FormatJSON {
+		format = FormatJSON
+	}
+	l, err := NewLogger(os.Stderr, tool, format, false)
+	if err != nil {
+		return
+	}
+	SetLogger(l)
+}
+
+// defLog is the process-wide default logger instrumented packages use.
+var defLog atomic.Pointer[slog.Logger]
+
+func init() {
+	defLog.Store(Nop())
+}
+
+// L returns the process-wide logger (discard until SetLogger).
+func L() *slog.Logger { return defLog.Load() }
+
+// SetLogger replaces the process-wide logger and returns the previous one.
+func SetLogger(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		l = Nop()
+	}
+	return defLog.Swap(l)
+}
+
+// discardHandler drops every record without formatting it.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// humanHandler renders records as the terse single-line messages the CLIs
+// have always printed to stderr: "tool: msg k=v ...", with a severity
+// prefix for non-info levels.
+type humanHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	tool  string
+	level slog.Level
+	attrs []slog.Attr
+}
+
+func (h *humanHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+func (h *humanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return &nh
+}
+
+// WithGroup flattens groups away; the human format has no nesting.
+func (h *humanHandler) WithGroup(string) slog.Handler { return h }
+
+func (h *humanHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if h.tool != "" {
+		b.WriteString(h.tool)
+		b.WriteString(": ")
+	}
+	switch {
+	case r.Level >= slog.LevelError:
+		b.WriteString("error: ")
+	case r.Level >= slog.LevelWarn:
+		b.WriteString("warning: ")
+	case r.Level < slog.LevelInfo:
+		b.WriteString("debug: ")
+	}
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		appendAttr(&b, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func appendAttr(b *strings.Builder, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	v := a.Value.Resolve()
+	switch v.Kind() {
+	case slog.KindString:
+		s := v.String()
+		if strings.ContainsAny(s, " \t\"") {
+			s = strconv.Quote(s)
+		}
+		b.WriteString(s)
+	default:
+		b.WriteString(v.String())
+	}
+}

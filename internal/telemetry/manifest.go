@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestSchema is the current metrics.json schema version; bump it when
+// the shape below changes incompatibly.
+const ManifestSchema = 1
+
+// HistSnapshot is a histogram frozen for the manifest.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// SpanSnapshot is one span name's aggregate for the manifest.
+type SpanSnapshot struct {
+	Count  int64 `json:"count"`
+	WallNS int64 `json:"wall_ns"`
+	CPUNS  int64 `json:"cpu_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// Manifest is the machine-readable end-of-run summary written as
+// metrics.json: every counter, gauge, histogram and span of a registry.
+type Manifest struct {
+	Schema     int                     `json:"schema"`
+	Tool       string                  `json:"tool"`
+	Started    time.Time               `json:"started"`
+	WallNS     int64                   `json:"wall_ns"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Spans      map[string]SpanSnapshot `json:"spans"`
+}
+
+// Snapshot freezes the registry into a manifest for tool.
+func (r *Registry) Snapshot(tool string) *Manifest {
+	m := &Manifest{
+		Schema:     ManifestSchema,
+		Tool:       tool,
+		Started:    r.start,
+		WallNS:     int64(time.Since(r.start)),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+		Spans:      map[string]SpanSnapshot{},
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		m.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		m.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		m.Histograms[name] = HistSnapshot{
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		}
+	}
+	for name, st := range r.spans {
+		m.Spans[name] = SpanSnapshot{
+			Count: st.Count, WallNS: st.WallNS, CPUNS: st.CPUNS,
+			MinNS: st.MinNS, MaxNS: st.MaxNS,
+		}
+	}
+	return m
+}
+
+// WriteFile writes the manifest as indented JSON to path ("-" for
+// stdout) via an atomic temp-file+rename, so a crash mid-write never
+// leaves a truncated manifest behind.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic is the telemetry-local temp+fsync+rename writer; the
+// package stays dependency-free, so it does not borrow internal/trace's.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// progEvery is the process-wide progress emission interval (0 = off),
+// wired from the shared -progress flag by cliutil.
+var progEvery atomic.Int64
+
+// SetProgressInterval sets how often batch runners emit a progress line
+// (0 disables) and returns the previous interval.
+func SetProgressInterval(d time.Duration) time.Duration {
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(progEvery.Swap(int64(d)))
+}
+
+// ProgressInterval returns the current progress emission interval.
+func ProgressInterval() time.Duration {
+	return time.Duration(progEvery.Load())
+}
+
+// Progress tracks a batch of known size and periodically emits one
+// structured line — completed/total, percentage, rate and ETA — through
+// the default logger. Add is a single atomic increment, safe from any
+// worker; the emitting goroutine only exists while the interval is
+// positive.
+type Progress struct {
+	label string
+	total int64
+	done  atomic.Int64
+	start time.Time
+	stop  chan struct{}
+	quit  chan struct{}
+}
+
+// StartProgress begins tracking total units of work under label,
+// emitting every interval (<= 0 disables emission; counting still
+// works). Call Stop when the batch ends to emit the final line and
+// release the ticker.
+func StartProgress(label string, total int, every time.Duration) *Progress {
+	p := &Progress{label: label, total: int64(total), start: time.Now()}
+	if every > 0 {
+		p.stop = make(chan struct{})
+		p.quit = make(chan struct{})
+		go p.run(every)
+	}
+	return p
+}
+
+// Add records n more completed units.
+func (p *Progress) Add(n int) { p.done.Add(int64(n)) }
+
+// Done returns how many units completed so far.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Stop ends the tracker, emitting the final summary line when periodic
+// emission was on. Stop is idempotent for convenience in defer chains.
+func (p *Progress) Stop() {
+	if p.stop == nil {
+		return
+	}
+	select {
+	case <-p.quit:
+		return
+	default:
+	}
+	close(p.stop)
+	<-p.quit
+}
+
+func (p *Progress) run(every time.Duration) {
+	defer close(p.quit)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.emit(false)
+		case <-p.stop:
+			p.emit(true)
+			return
+		}
+	}
+}
+
+func (p *Progress) emit(final bool) {
+	done := p.done.Load()
+	elapsed := time.Since(p.start)
+	msg, attrs := p.line(done, elapsed, final)
+	L().Info(msg, attrs...)
+}
+
+// line formats one progress event: the human-facing message plus the
+// structured attributes (done, total, pct, rate, eta).
+func (p *Progress) line(done int64, elapsed time.Duration, final bool) (string, []any) {
+	pct := float64(100)
+	if p.total > 0 {
+		pct = 100 * float64(done) / float64(p.total)
+	}
+	rate := float64(0)
+	if elapsed > 0 {
+		rate = float64(done) / elapsed.Seconds()
+	}
+	attrs := []any{
+		"label", p.label,
+		"done", done,
+		"total", p.total,
+		"pct", fmt.Sprintf("%.1f", pct),
+		"rate_per_sec", fmt.Sprintf("%.1f", rate),
+	}
+	if final {
+		attrs = append(attrs, "elapsed", elapsed.Round(time.Millisecond).String())
+		return "progress done", attrs
+	}
+	eta := "?"
+	if rate > 0 && done < p.total {
+		eta = (time.Duration(float64(p.total-done) / rate * float64(time.Second))).Round(time.Second).String()
+	}
+	attrs = append(attrs, "eta", eta)
+	return "progress", attrs
+}

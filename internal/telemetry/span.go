@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// SpanStats aggregates every completed span of one name: how often the
+// phase ran and the wall and CPU time it consumed. CPU time is
+// process-wide (user+system), so concurrent phases each see the whole
+// process's burn — the useful signal is the per-phase wall/CPU ratio of
+// serial phases and the total at the run level.
+type SpanStats struct {
+	Count  int64
+	WallNS int64
+	CPUNS  int64
+	MinNS  int64
+	MaxNS  int64
+}
+
+// Span is one running phase timer. Create with Registry.StartSpan, stop
+// with End. Spans nest by name: child spans started with Child record
+// under "parent/child".
+type Span struct {
+	reg   *Registry
+	name  string
+	wall0 time.Time
+	cpu0  time.Duration
+}
+
+// StartSpan starts a phase timer recording into the registry under name.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{reg: r, name: name, wall0: time.Now(), cpu0: processCPU()}
+}
+
+// Name returns the span's full (nested) name.
+func (s *Span) Name() string { return s.name }
+
+// Child starts a nested span named "<parent>/<name>".
+func (s *Span) Child(name string) *Span {
+	return s.reg.StartSpan(s.name + "/" + name)
+}
+
+// End stops the span, records it, and returns the wall duration. A span
+// must be ended exactly once. When the default logger has debug enabled,
+// the completed span is also emitted as a structured event.
+func (s *Span) End() time.Duration {
+	wall := time.Since(s.wall0)
+	cpu := processCPU() - s.cpu0
+	s.reg.recordSpan(s.name, wall, cpu)
+	if l := L(); l.Enabled(context.Background(), slog.LevelDebug) {
+		l.Debug("span", "name", s.name,
+			"wall_ms", float64(wall)/float64(time.Millisecond),
+			"cpu_ms", float64(cpu)/float64(time.Millisecond))
+	}
+	return wall
+}
+
+func (r *Registry) recordSpan(name string, wall, cpu time.Duration) {
+	w, c := int64(wall), int64(cpu)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.spans[name]
+	if st == nil {
+		st = &SpanStats{MinNS: w, MaxNS: w}
+		r.spans[name] = st
+	}
+	st.Count++
+	st.WallNS += w
+	st.CPUNS += c
+	if w < st.MinNS {
+		st.MinNS = w
+	}
+	if w > st.MaxNS {
+		st.MaxNS = w
+	}
+}

@@ -1,0 +1,244 @@
+// Package telemetry is the pipeline's dependency-free observability
+// layer: named atomic counters, gauges and histograms in a Registry,
+// wall+CPU phase spans, a pluggable log sink built on log/slog (human
+// text, JSON lines, discard), a periodic progress reporter with ETA, and
+// a machine-readable end-of-run metrics manifest written atomically.
+//
+// Instrumented packages read the process defaults (Default registry,
+// L logger) so a library user pays nothing — the default sink discards —
+// while the CLIs wire real sinks through cliutil's shared flags. Hot
+// paths must not allocate: metric handles are looked up once (cold) and
+// then updated with single atomic operations.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time value (worker count, utilization percentage).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the bucket count of a Histogram: bucket i holds values
+// whose bit length is i, i.e. [2^(i-1), 2^i). Bucket 0 holds zero.
+const histBuckets = 65
+
+// Histogram accumulates a distribution in power-of-two buckets — coarse
+// but allocation-free and mergeable. Quantiles are bucket-resolution
+// (within a factor of two), tightened by the tracked min/max.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min returns the smallest observed value (0 before any observation).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) at
+// bucket resolution: the value returned is >= the true quantile and less
+// than twice it, clamped to the observed max.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			hi := int64(1)<<uint(i) - 1 // largest value with bit length i
+			if m := h.max.Load(); hi > m {
+				hi = m
+			}
+			return hi
+		}
+	}
+	return h.max.Load()
+}
+
+// Registry is a named collection of metrics and completed spans. All
+// methods are safe for concurrent use; the metric handles it returns are
+// lock-free and should be cached by hot paths.
+type Registry struct {
+	start time.Time
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*SpanStats
+}
+
+// NewRegistry returns an empty registry stamped with the current time.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*SpanStats{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// defReg is the process-wide default registry instrumented packages use.
+var defReg atomic.Pointer[Registry]
+
+func init() {
+	defReg.Store(NewRegistry())
+}
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defReg.Load() }
+
+// SetDefault replaces the process-wide registry (CLI startup, test
+// isolation) and returns the previous one.
+func SetDefault(r *Registry) *Registry {
+	if r == nil {
+		r = NewRegistry()
+	}
+	return defReg.Swap(r)
+}

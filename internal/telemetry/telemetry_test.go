@@ -1,0 +1,325 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryGetOrCreate checks that the same name always yields the
+// same handle and distinct names distinct handles.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Counter("x"), r.Counter("x")
+	if a != b {
+		t.Fatal("same counter name returned distinct handles")
+	}
+	if r.Counter("y") == a {
+		t.Fatal("distinct counter names shared a handle")
+	}
+	if r.Gauge("x") == nil || r.Histogram("x") == nil {
+		t.Fatal("gauge/histogram construction failed")
+	}
+	a.Add(3)
+	a.Inc()
+	if got := b.Value(); got != 4 {
+		t.Fatalf("counter value = %d, want 4", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge value = %d, want 5", got)
+	}
+}
+
+// TestRegistryConcurrency hammers get-or-create and updates from many
+// goroutines; run with -race this is the registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("metric-%d", i%7)
+				r.Counter(name).Inc()
+				r.Gauge(name).Set(int64(i))
+				r.Histogram(name).Observe(int64(i))
+				sp := r.StartSpan(name)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < 7; i++ {
+		total += r.Counter(fmt.Sprintf("metric-%d", i)).Value()
+	}
+	if want := int64(workers * iters); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	m := r.Snapshot("test")
+	if m.Spans["metric-0"].Count == 0 {
+		t.Fatal("span stats missing after concurrent spans")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(64)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Sum(); got != 50+50*64 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got, want := h.Min(), int64(1); got != want {
+		t.Fatalf("min = %d, want %d", got, want)
+	}
+	if got, want := h.Max(), int64(64); got != want {
+		t.Fatalf("max = %d, want %d", got, want)
+	}
+	// The 25th percentile lands in the all-ones half; the bucket upper
+	// bound for value 1 is exactly 1.
+	if got := h.Quantile(0.25); got != 1 {
+		t.Fatalf("p25 = %d, want 1", got)
+	}
+	// The 75th percentile lands in the 64s; the bucket [64,127] is
+	// tightened to the observed max.
+	if got := h.Quantile(0.75); got != 64 {
+		t.Fatalf("p75 = %d, want 64", got)
+	}
+	if got := h.Quantile(1); got != 64 {
+		t.Fatalf("p100 = %d, want 64", got)
+	}
+
+	empty := r.Histogram("empty")
+	if empty.Quantile(0.5) != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	neg := r.Histogram("neg")
+	neg.Observe(-5)
+	if neg.Min() != 0 {
+		t.Fatalf("negative observation should clamp to 0, min = %d", neg.Min())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	parent := r.StartSpan("phase")
+	child := parent.Child("inner")
+	if child.Name() != "phase/inner" {
+		t.Fatalf("child name = %q", child.Name())
+	}
+	grand := child.Child("leaf")
+	time.Sleep(2 * time.Millisecond)
+	grand.End()
+	child.End()
+	parent.End()
+	m := r.Snapshot("test")
+	for _, name := range []string{"phase", "phase/inner", "phase/inner/leaf"} {
+		if m.Spans[name].Count != 1 {
+			t.Fatalf("span %q count = %d, want 1", name, m.Spans[name].Count)
+		}
+	}
+	// Wall time nests: the parent covers its children.
+	if m.Spans["phase"].WallNS < m.Spans["phase/inner"].WallNS {
+		t.Fatalf("parent wall %d < child wall %d",
+			m.Spans["phase"].WallNS, m.Spans["phase/inner"].WallNS)
+	}
+	if m.Spans["phase/inner"].WallNS < m.Spans["phase/inner/leaf"].WallNS {
+		t.Fatal("child wall < grandchild wall")
+	}
+	if m.Spans["phase/inner/leaf"].WallNS < int64(time.Millisecond) {
+		t.Fatalf("leaf wall %d implausibly small", m.Spans["phase/inner/leaf"].WallNS)
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(42)
+	r.Gauge("g").Set(-3)
+	r.Histogram("h").Observe(10)
+	sp := r.StartSpan("s")
+	sp.End()
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := r.Snapshot("unittest").WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Schema != ManifestSchema || m.Tool != "unittest" {
+		t.Fatalf("schema/tool = %d/%q", m.Schema, m.Tool)
+	}
+	if m.Counters["c"] != 42 || m.Gauges["g"] != -3 {
+		t.Fatalf("counters/gauges round-trip: %+v", m)
+	}
+	if m.Histograms["h"].Count != 1 || m.Histograms["h"].Max != 10 {
+		t.Fatalf("histogram round-trip: %+v", m.Histograms["h"])
+	}
+	if m.Spans["s"].Count != 1 {
+		t.Fatalf("span round-trip: %+v", m.Spans["s"])
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left in output dir: %v", ents)
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "mytool", FormatText, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Warn("skipping line 3", "err", "bad record")
+	if got := buf.String(); !strings.Contains(got, "mytool: warning: skipping line 3") ||
+		!strings.Contains(got, `err="bad record"`) {
+		t.Fatalf("text line = %q", got)
+	}
+	l.Debug("hidden")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Fatal("debug emitted without verbose")
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, "mytool", FormatJSON, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("event", "records", 7)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("json line %q: %v", buf.String(), err)
+	}
+	if obj["tool"] != "mytool" || obj["msg"] != "event" || obj["records"] != float64(7) {
+		t.Fatalf("json fields: %v", obj)
+	}
+
+	if _, err := NewLogger(&buf, "t", "xml", false); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestDefaultSwap(t *testing.T) {
+	fresh := NewRegistry()
+	prev := SetDefault(fresh)
+	defer SetDefault(prev)
+	if Default() != fresh {
+		t.Fatal("SetDefault did not install the registry")
+	}
+	var buf bytes.Buffer
+	l := slog.New(slog.NewJSONHandler(&buf, nil))
+	prevLog := SetLogger(l)
+	defer SetLogger(prevLog)
+	if L() != l {
+		t.Fatal("SetLogger did not install the logger")
+	}
+	SetLogger(nil)
+	if L() == nil {
+		t.Fatal("nil logger should fall back to Nop")
+	}
+	SetLogger(prevLog)
+}
+
+func TestProgressLines(t *testing.T) {
+	p := StartProgress("tasks", 10, 0) // emission off, counting on
+	p.Add(3)
+	if p.Done() != 3 {
+		t.Fatalf("done = %d", p.Done())
+	}
+	msg, attrs := p.line(3, 2*time.Second, false)
+	if msg != "progress" {
+		t.Fatalf("msg = %q", msg)
+	}
+	s := fmt.Sprint(attrs...)
+	if !strings.Contains(s, "30.0") { // pct
+		t.Fatalf("attrs missing pct: %v", s)
+	}
+	if !strings.Contains(s, "1.5") { // rate: 3 done / 2s
+		t.Fatalf("attrs missing rate: %v", s)
+	}
+	// ETA: 7 remaining at 1.5/s ≈ 5s (rounded to seconds).
+	if !strings.Contains(s, "eta 5s") && !strings.Contains(s, "eta5s") {
+		t.Fatalf("attrs missing eta: %v", s)
+	}
+	msg, attrs = p.line(10, 4*time.Second, true)
+	if msg != "progress done" {
+		t.Fatalf("final msg = %q", msg)
+	}
+	if !strings.Contains(fmt.Sprint(attrs...), "elapsed") {
+		t.Fatalf("final attrs missing elapsed: %v", attrs)
+	}
+	p.Stop() // no periodic goroutine; must be a no-op
+}
+
+// TestProgressEmits runs a real ticker against a captured logger.
+func TestProgressEmits(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	l := slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil))
+	prev := SetLogger(l)
+	defer SetLogger(prev)
+
+	p := StartProgress("work", 4, 5*time.Millisecond)
+	p.Add(2)
+	time.Sleep(30 * time.Millisecond)
+	p.Add(2)
+	p.Stop()
+	p.Stop() // idempotent
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, `"msg":"progress"`) {
+		t.Fatalf("no periodic progress line in:\n%s", out)
+	}
+	if !strings.Contains(out, `"msg":"progress done"`) {
+		t.Fatalf("no final progress line in:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("non-JSON progress line %q: %v", line, err)
+		}
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

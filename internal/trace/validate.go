@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"tracedst/internal/memmodel"
+	"tracedst/internal/telemetry"
 )
 
 // Severity ranks a diagnostic.
@@ -76,6 +77,8 @@ type Report struct {
 
 	errors, warnings int
 	max              int
+	// byCode counts findings per diagnostic code, past the Diags cap.
+	byCode map[string]int
 }
 
 // Errors returns the number of error-severity findings (including dropped).
@@ -93,6 +96,10 @@ func (r *Report) add(line int, sev Severity, code, format string, args ...any) {
 	} else {
 		r.warnings++
 	}
+	if r.byCode == nil {
+		r.byCode = map[string]int{}
+	}
+	r.byCode[code]++
 	if r.max > 0 && len(r.Diags) >= r.max {
 		r.Dropped++
 		return
@@ -197,7 +204,24 @@ func Validate(r io.Reader, opts ValidateOptions) (*Report, error) {
 		rep.add(0, SevWarn, CodeNoHeader, "trace has no START header")
 	}
 	v.finish()
+	rep.publish()
 	return rep, nil
+}
+
+// publish adds the report's totals — records checked, bad lines, and
+// finding counts per diagnostic class — to the default telemetry
+// registry, so glcheck and the experiments self-check surface in the
+// metrics manifest.
+func (r *Report) publish() {
+	reg := telemetry.Default()
+	reg.Counter("validate.traces").Inc()
+	reg.Counter("validate.records").Add(int64(r.Records))
+	reg.Counter("validate.bad_lines").Add(int64(r.BadLines))
+	reg.Counter("validate.errors").Add(int64(r.errors))
+	reg.Counter("validate.warnings").Add(int64(r.warnings))
+	for code, n := range r.byCode {
+		reg.Counter("validate.diags." + code).Add(int64(n))
+	}
 }
 
 // ValidateRecords runs the semantic checks over an already-decoded record
@@ -213,6 +237,7 @@ func ValidateRecords(h Header, hasHdr bool, recs []Record) *Report {
 		v.check(i+1, &recs[i], false)
 	}
 	v.finish()
+	rep.publish()
 	return rep
 }
 

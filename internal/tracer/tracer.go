@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"tracedst/internal/minic"
 	"tracedst/internal/symtab"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
 
@@ -160,6 +162,8 @@ func Run(src string, defines map[string]string, opts Options) (*Result, error) {
 }
 
 // RunProgram executes an already-parsed program, collecting its trace.
+// Each run publishes its cost to the default telemetry registry: steps
+// executed, records emitted/dropped and the collection rate.
 func RunProgram(prog *minic.Program, opts Options) (*Result, error) {
 	t := New(opts)
 	in := minic.NewInterp(prog, t)
@@ -170,9 +174,22 @@ func RunProgram(prog *minic.Program, opts Options) (*Result, error) {
 		in.SetContext(opts.Ctx)
 	}
 	t.Attach(in)
+	reg := telemetry.Default()
+	sp := reg.StartSpan("tracer/run")
 	ret, err := in.Run()
+	wall := sp.End()
+	reg.Counter("tracer.programs").Inc()
+	reg.Counter("tracer.steps").Add(in.Steps())
+	reg.Counter("tracer.records").Add(int64(len(t.Records)))
+	reg.Counter("tracer.dropped").Add(int64(t.Dropped))
 	if err != nil {
+		reg.Counter("tracer.errors").Inc()
 		return nil, fmt.Errorf("tracer: %w", err)
+	}
+	if rate := recordsPerSec(len(t.Records), wall); rate > 0 {
+		telemetry.L().Debug("trace collected",
+			"records", len(t.Records), "steps", in.Steps(),
+			"dropped", t.Dropped, "records_per_sec", int64(rate))
 	}
 	return &Result{
 		Header:  t.Header(),
@@ -180,4 +197,13 @@ func RunProgram(prog *minic.Program, opts Options) (*Result, error) {
 		Interp:  in,
 		Return:  ret,
 	}, nil
+}
+
+// recordsPerSec guards the rate computation against a sub-resolution wall
+// clock reading.
+func recordsPerSec(n int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(n) / wall.Seconds()
 }

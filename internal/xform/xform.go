@@ -24,6 +24,7 @@ import (
 	"tracedst/internal/ctype"
 	"tracedst/internal/memmodel"
 	"tracedst/internal/rules"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
 
@@ -147,17 +148,33 @@ func (e *Engine) Transform(rec *trace.Record) ([]trace.Record, error) {
 	return out, nil
 }
 
-// TransformAll rewrites a whole record slice.
+// TransformAll rewrites a whole record slice. Each call publishes what it
+// did — records seen, rules fired, records inserted/passed — to the
+// default telemetry registry.
 func (e *Engine) TransformAll(recs []trace.Record) ([]trace.Record, error) {
+	before := e.stats
 	out := make([]trace.Record, 0, len(recs)+len(recs)/4)
 	for i := range recs {
 		rs, err := e.Transform(&recs[i])
 		if err != nil {
+			e.publish(before)
 			return nil, err
 		}
 		out = append(out, rs...)
 	}
+	e.publish(before)
 	return out, nil
+}
+
+// publish adds this call's stat deltas (engines accumulate across calls)
+// to the default registry.
+func (e *Engine) publish(before Stats) {
+	reg := telemetry.Default()
+	reg.Counter("xform.runs").Inc()
+	reg.Counter("xform.records").Add(e.stats.Total - before.Total)
+	reg.Counter("xform.rules_fired").Add(e.stats.Matched - before.Matched)
+	reg.Counter("xform.inserted").Add(e.stats.Inserted - before.Inserted)
+	reg.Counter("xform.passed").Add(e.stats.Passed - before.Passed)
 }
 
 // Run streams records from rd to wr, transforming as it goes — the paper's

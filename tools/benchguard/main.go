@@ -1,0 +1,107 @@
+// Command benchguard compares two metrics from `go test -bench` output
+// and fails when the candidate exceeds the baseline by more than the
+// allowed overhead. CI uses it to keep the telemetry layer invisible in
+// the sweep profile:
+//
+//	go test ./internal/experiments/ -run xxx -bench SweepTelemetry -count 3 |
+//	  go run ./tools/benchguard -bench SweepTelemetry \
+//	    -base noop_ns/op -new enabled_ns/op -max-pct 2
+//
+// The metrics may be custom (BenchmarkSweepTelemetry reports noop_ns/op
+// and enabled_ns/op from one interleaved run, so scheduler noise hits
+// both equally) or the standard ns/op of two different benchmarks (pass
+// the names via -bench regex and -base/-new as "NAME:ns/op"). With
+// -count > 1 the minimum per metric is compared — the standard way to
+// strip noise on a shared CI box.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	bench := flag.String("bench", "", "only consider benchmark lines containing this substring (empty = all)")
+	base := flag.String("base", "", `baseline metric unit, e.g. "noop_ns/op", or "NAME:ns/op" to pick another benchmark's ns/op`)
+	cand := flag.String("new", "", "candidate metric unit, same syntax as -base")
+	maxPct := flag.Float64("max-pct", 2, "maximum allowed candidate overhead over baseline, in percent")
+	flag.Parse()
+	if *base == "" || *cand == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: usage: go test -bench ... | benchguard -base METRIC -new METRIC [-bench NAME] [-max-pct N]")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	baseVal := scan(in, *bench, *base, *cand)
+	baseNS, candNS := baseVal[*base], baseVal[*cand]
+	if baseNS == 0 || candNS == 0 {
+		fatal(fmt.Errorf("missing metrics (base %q: %v, new %q: %v)", *base, baseNS, *cand, candNS))
+	}
+	overhead := 100 * (candNS - baseNS) / baseNS
+	fmt.Printf("benchguard: %s %.0f, %s %.0f: overhead %+.2f%% (limit %.2f%%)\n",
+		*base, baseNS, *cand, candNS, overhead, *maxPct)
+	if overhead > *maxPct {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s exceeds %s by %.2f%% (max %.2f%%)\n",
+			*cand, *base, overhead, *maxPct)
+		os.Exit(1)
+	}
+}
+
+// scan reads go test -bench output and returns the minimum value seen for
+// each requested metric. A metric is either a bare unit ("noop_ns/op"),
+// matched on lines passing the -bench filter, or "NAME:unit", matched on
+// lines whose benchmark name contains NAME. Result lines look like:
+//
+//	BenchmarkSweepTelemetry-8  20  19ms ns/op  9528420 noop_ns/op  ...
+func scan(r io.Reader, bench string, metrics ...string) map[string]float64 {
+	min := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		for _, m := range metrics {
+			unit := m
+			if i := strings.IndexByte(m, ':'); i >= 0 {
+				if !strings.Contains(name, m[:i]) {
+					continue
+				}
+				unit = m[i+1:]
+			} else if bench != "" && !strings.Contains(name, bench) {
+				continue
+			}
+			for i := 2; i+1 < len(fields); i++ {
+				if fields[i+1] != unit {
+					continue
+				}
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err == nil && v > 0 && (min[m] == 0 || v < min[m]) {
+					min[m] = v
+				}
+				break
+			}
+		}
+	}
+	return min
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,240 @@
+// Command metricscheck validates a telemetry metrics manifest against the
+// checked-in JSON schema and the pipeline's semantic invariants. CI runs
+// it against the manifest of a small sweep:
+//
+//	go run ./tools/metricscheck -schema schema/metrics.schema.json metrics.json
+//	go run ./tools/metricscheck -lossless -require experiments.tasks metrics.json
+//
+// It implements exactly the JSON Schema subset the schema file uses —
+// type, const, minimum, required, properties, additionalProperties and
+// #/definitions/* refs — so the repository stays dependency-free.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "schema/metrics.schema.json", "JSON schema to validate against")
+	lossless := flag.Bool("lossless", false, "require every decoded/ingested record to be simulated (or counted as ignored)")
+	var require requireList
+	flag.Var(&require, "require", "counter that must be present and nonzero (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "metricscheck: usage: metricscheck [-schema FILE] [-lossless] [-require COUNTER] MANIFEST")
+		os.Exit(2)
+	}
+
+	schema, err := loadJSON(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := loadJSON(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	v := &validator{root: schema.(map[string]any)}
+	v.validate("$", doc, v.root)
+
+	checkInvariants(v, doc, *lossless, require)
+
+	if len(v.errs) > 0 {
+		for _, e := range v.errs {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %s\n", flag.Arg(0), e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s: ok\n", flag.Arg(0))
+}
+
+// requireList is the repeatable -require flag.
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(s string) error { *r = append(*r, s); return nil }
+
+func loadJSON(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// validator walks a document against the schema subset, collecting every
+// violation rather than stopping at the first.
+type validator struct {
+	root map[string]any
+	errs []string
+}
+
+func (v *validator) errorf(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Sprintf(format, args...))
+}
+
+// resolve follows a local "#/definitions/NAME" ref.
+func (v *validator) resolve(schema map[string]any) map[string]any {
+	ref, ok := schema["$ref"].(string)
+	if !ok {
+		return schema
+	}
+	const prefix = "#/definitions/"
+	name := strings.TrimPrefix(ref, prefix)
+	if name == ref {
+		v.errorf("unsupported $ref %q (only %sNAME)", ref, prefix)
+		return nil
+	}
+	defs, _ := v.root["definitions"].(map[string]any)
+	target, ok := defs[name].(map[string]any)
+	if !ok {
+		v.errorf("unresolved $ref %q", ref)
+		return nil
+	}
+	return target
+}
+
+func (v *validator) validate(path string, doc any, schema map[string]any) {
+	schema = v.resolve(schema)
+	if schema == nil {
+		return
+	}
+	if typ, ok := schema["type"].(string); ok && !hasType(doc, typ) {
+		v.errorf("%s: got %s, want %s", path, typeName(doc), typ)
+		return
+	}
+	if c, ok := schema["const"]; ok && !jsonEqual(doc, c) {
+		v.errorf("%s: got %v, want constant %v", path, doc, c)
+	}
+	if min, ok := schema["minimum"].(float64); ok {
+		if n, ok := doc.(float64); ok && n < min {
+			v.errorf("%s: %v below minimum %v", path, n, min)
+		}
+	}
+	obj, ok := doc.(map[string]any)
+	if !ok {
+		return
+	}
+	if req, ok := schema["required"].([]any); ok {
+		for _, k := range req {
+			if _, present := obj[k.(string)]; !present {
+				v.errorf("%s: missing required property %q", path, k)
+			}
+		}
+	}
+	props, _ := schema["properties"].(map[string]any)
+	addl := schema["additionalProperties"]
+	for key, val := range obj {
+		sub := path + "." + key
+		if ps, ok := props[key].(map[string]any); ok {
+			v.validate(sub, val, ps)
+			continue
+		}
+		switch a := addl.(type) {
+		case map[string]any:
+			v.validate(sub, val, a)
+		case bool:
+			if !a {
+				v.errorf("%s: unexpected property", sub)
+			}
+		}
+	}
+}
+
+func hasType(doc any, typ string) bool {
+	switch typ {
+	case "object":
+		_, ok := doc.(map[string]any)
+		return ok
+	case "string":
+		_, ok := doc.(string)
+		return ok
+	case "number":
+		_, ok := doc.(float64)
+		return ok
+	case "integer":
+		n, ok := doc.(float64)
+		return ok && n == float64(int64(n))
+	case "boolean":
+		_, ok := doc.(bool)
+		return ok
+	case "array":
+		_, ok := doc.([]any)
+		return ok
+	default:
+		return false
+	}
+}
+
+func typeName(doc any) string {
+	switch doc.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", doc)
+}
+
+func jsonEqual(a, b any) bool {
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	return string(ja) == string(jb)
+}
+
+// checkInvariants enforces the semantic rules the schema alone cannot: the
+// requested counters exist and fired, and on a -lossless run the simulator
+// accounted for every record the pipeline handed it.
+func checkInvariants(v *validator, doc any, lossless bool, require []string) {
+	obj, ok := doc.(map[string]any)
+	if !ok {
+		return
+	}
+	counters, _ := obj["counters"].(map[string]any)
+	get := func(name string) (int64, bool) {
+		n, ok := counters[name].(float64)
+		return int64(n), ok
+	}
+	for _, name := range require {
+		if n, ok := get(name); !ok || n == 0 {
+			v.errorf("required counter %q missing or zero", name)
+		}
+	}
+	if !lossless {
+		return
+	}
+	simulated, haveSim := get("dinero.records_simulated")
+	ignored, _ := get("dinero.records_ignored")
+	if !haveSim {
+		v.errorf("-lossless: no dinero.records_simulated counter")
+		return
+	}
+	if in, ok := get("experiments.records_in"); ok && in != simulated {
+		v.errorf("-lossless: experiments.records_in %d != dinero.records_simulated %d", in, simulated)
+	}
+	if decoded, ok := get("trace.decode.records"); ok && decoded != simulated+ignored {
+		v.errorf("-lossless: trace.decode.records %d != simulated %d + ignored %d",
+			decoded, simulated, ignored)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(2)
+}
