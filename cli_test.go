@@ -217,6 +217,104 @@ struct lAoS { int mX; double mY; }[16];
 	}
 }
 
+// TestCLIBinaryFormatParity feeds every reading tool the same workload in
+// text and in binary form and requires byte-identical reports, plus a
+// text → binary → text dsxform round trip that reproduces the text
+// transform exactly.
+func TestCLIBinaryFormatParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	textTrace := filepath.Join(dir, "trace.out")
+	binTrace := filepath.Join(dir, "trace.glb")
+	runTool(t, "gltrace", "-w", "trans1-soa", "-o", textTrace)
+	runTool(t, "gltrace", "-w", "trans1-soa", "-format", "binary", "-o", binTrace)
+	tdata, err := os.ReadFile(textTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdata, err := os.ReadFile(binTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bdata) >= len(tdata) {
+		t.Errorf("binary trace (%d bytes) not smaller than text (%d bytes)", len(bdata), len(tdata))
+	}
+
+	// Single-input readers: identical stdout on both encodings.
+	for _, tc := range [][]string{
+		{"dinero", "-l1-size", "32k", "-l1-bsize", "32", "-l1-assoc", "1"},
+		{"glprof", "-reuse"},
+		{"setplot", "-format", "csv"},
+	} {
+		fromText := runTool(t, tc[0], append(tc[1:], textTrace)...)
+		fromBin := runTool(t, tc[0], append(tc[1:], binTrace)...)
+		if fromText != fromBin {
+			t.Errorf("%s output differs between text and binary input", tc[0])
+		}
+	}
+
+	// dsxform mirrors the input container; -format overrides it.
+	ruleFile := filepath.Join(dir, "soa2aos.rule")
+	rule := `
+in:
+struct lSoA { int mX[16]; double mY[16]; };
+out:
+struct lAoS { int mX; double mY; }[16];
+`
+	if err := os.WriteFile(ruleFile, []byte(rule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	xformText := filepath.Join(dir, "xform.out")
+	xformBin := filepath.Join(dir, "xform.glb")
+	xformBack := filepath.Join(dir, "xform-back.out")
+	runTool(t, "dsxform", "-rules", ruleFile, "-o", xformText, textTrace)
+	runTool(t, "dsxform", "-rules", ruleFile, "-o", xformBin, binTrace)
+	runTool(t, "dsxform", "-rules", ruleFile, "-format", "text", "-o", xformBack, binTrace)
+	xt, err := os.ReadFile(xformText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := os.ReadFile(xformBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(xformBack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(xt), "START PID") {
+		t.Fatalf("text transform malformed:\n%.200s", xt)
+	}
+	if string(back) != string(xt) {
+		t.Errorf("binary-input transform rendered to text differs from text-input transform")
+	}
+	if strings.HasPrefix(string(xb), "START PID") {
+		t.Errorf("binary-input transform did not mirror the binary container")
+	}
+
+	// tracediff: identical stats whichever encodings the two sides use.
+	want := runTool(t, "tracediff", "-stats-only", textTrace, xformText)
+	for _, pair := range [][2]string{{binTrace, xformBin}, {textTrace, xformBin}, {binTrace, xformText}} {
+		if got := runTool(t, "tracediff", "-stats-only", pair[0], pair[1]); got != want {
+			t.Errorf("tracediff(%s, %s) differs from all-text run", filepath.Base(pair[0]), filepath.Base(pair[1]))
+		}
+	}
+
+	// dinero agrees on the transformed trace too.
+	simText := runTool(t, "dinero", "-l1-size", "32k", "-l1-assoc", "1", xformText)
+	simBin := runTool(t, "dinero", "-l1-size", "32k", "-l1-assoc", "1", xformBin)
+	if simText != simBin {
+		t.Errorf("dinero reports differ between text and binary transformed traces")
+	}
+
+	// glcheck validates the binary container.
+	if out := runTool(t, "glcheck", binTrace); !strings.Contains(out, "ok:") {
+		t.Errorf("glcheck on binary trace:\n%s", out)
+	}
+}
+
 func TestCLIErrorPaths(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")

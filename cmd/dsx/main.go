@@ -35,6 +35,7 @@ func main() {
 	l1 := cliutil.NewCacheFlags(fs, "l1", "32k", 32, 1)
 	showDiff := fs.Bool("diff", false, "print the trace diff")
 	saveXform := fs.String("o", "", "also write the transformed trace to this file")
+	outFormat := fs.String("format", "auto", "trace format for -o: auto (binary for .glb paths) | text | binary")
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	of := cliutil.NewObsFlags(fs, "dsx")
@@ -91,7 +92,11 @@ func main() {
 		st.Total, st.Matched, st.Inserted, st.Passed)
 
 	if *saveXform != "" {
-		if err := cliutil.WriteTrace(*saveXform, res.Header, transformed); err != nil {
+		f, err := cliutil.ParseTraceFormat(*outFormat)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		if err := cliutil.WriteTraceFormat(*saveXform, res.Header, true, transformed, f); err != nil {
 			obs.Fatal(err)
 		}
 	}

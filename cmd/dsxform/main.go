@@ -40,6 +40,7 @@ func main() {
 	shadowAlign := fs.Int64("shadow-align", 0, "override base alignment of relocated structures (0 = automatic)")
 	quiet := fs.Bool("q", false, "suppress the summary line")
 	tf := cliutil.NewTraceFlags(fs, "dsxform")
+	tf.AddFormatFlag(fs)
 	of := cliutil.NewObsFlags(fs, "dsxform")
 	_ = fs.Parse(os.Args[1:])
 
@@ -70,8 +71,12 @@ func main() {
 		obs.Fatal(err)
 	}
 	sp := obs.Reg.StartSpan("dsxform/load")
-	h, hasHdr, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
+	h, hasHdr, recs, inFmt, err := cliutil.LoadTraceFormat(fs.Arg(0), tf.Options())
 	sp.End()
+	if err != nil {
+		obs.Fatal(err)
+	}
+	outFmt, err := tf.OutputFormat(inFmt)
 	if err != nil {
 		obs.Fatal(err)
 	}
@@ -82,8 +87,9 @@ func main() {
 		obs.Fatal(err)
 	}
 	// A headerless input stays headerless, so byte-level round trips
-	// through tracediff keep working.
-	if err := cliutil.WriteTraceOpts(*out, h, hasHdr, outRecs); err != nil {
+	// through tracediff keep working; the container format mirrors the
+	// input unless -format overrides it.
+	if err := cliutil.WriteTraceFormat(*out, h, hasHdr, outRecs, outFmt); err != nil {
 		obs.Fatal(err)
 	}
 	if !*quiet {

@@ -33,7 +33,7 @@ func main() {
 	onlyFunc := fs.String("only-func", "", "keep only records executed by this function")
 	onlyVar := fs.String("only-var", "", "keep only records of this root variable")
 	onlyOps := fs.String("only-ops", "", "keep only these access types, e.g. LS")
-	format := fs.String("format", "gleipnir", "output format: gleipnir | din (classic DineroIV input)")
+	format := fs.String("format", "gleipnir", "output format: gleipnir (alias text) | binary (block-framed .glb) | din (classic DineroIV input)")
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	of := cliutil.NewObsFlags(fs, "gltrace")
@@ -91,8 +91,12 @@ func main() {
 		records = trace.Filter(records, trace.And(preds...))
 	}
 	switch *format {
-	case "gleipnir":
-		if err := cliutil.WriteTrace(*out, res.Header, records); err != nil {
+	case "gleipnir", "text":
+		if err := cliutil.WriteTraceFormat(*out, res.Header, true, records, trace.FormatText); err != nil {
+			obs.Fatal(err)
+		}
+	case "binary", "glb":
+		if err := cliutil.WriteTraceFormat(*out, res.Header, true, records, trace.FormatBinary); err != nil {
 			obs.Fatal(err)
 		}
 	case "din":

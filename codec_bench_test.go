@@ -1,0 +1,147 @@
+// Benchmarks for the trace codec layer: text and binary decode/encode
+// throughput on the matmul workload trace. Run with:
+//
+//	go test . -run xxx -bench 'Decode|Encode' -benchmem
+package tracedst_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"tracedst/internal/trace"
+)
+
+// codecFixture renders the shared matmul trace (load(b).big) once per
+// container format.
+type codecFixture struct {
+	recs   []trace.Record
+	text   string
+	binary []byte
+}
+
+var codecFix codecFixture
+
+func loadCodec(b *testing.B) *codecFixture {
+	b.Helper()
+	f := load(b)
+	if codecFix.text == "" {
+		codecFix.recs = f.big
+		codecFix.text = trace.Format(trace.Header{PID: 1}, f.big)
+		var buf bytes.Buffer
+		bw := trace.NewBinaryWriter(&buf)
+		if err := bw.WriteHeader(trace.Header{PID: 1}); err != nil {
+			b.Fatal(err)
+		}
+		for i := range f.big {
+			if err := bw.Write(&f.big[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		codecFix.binary = buf.Bytes()
+	}
+	return &codecFix
+}
+
+func reportRecords(b *testing.B, perIter int) {
+	b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkDecodeText(b *testing.B) {
+	f := loadCodec(b)
+	b.SetBytes(int64(len(f.text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := trace.NewReader(strings.NewReader(f.text))
+		recs, err := rd.ReadAll()
+		if err != nil || len(recs) != len(f.recs) {
+			b.Fatalf("decoded %d records, err %v", len(recs), err)
+		}
+	}
+	reportRecords(b, len(f.recs))
+}
+
+func BenchmarkEncodeText(b *testing.B) {
+	f := loadCodec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wr := trace.NewWriter(io.Discard)
+		for j := range f.recs {
+			if err := wr.Write(&f.recs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := wr.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, len(f.recs))
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	f := loadCodec(b)
+	b.SetBytes(int64(len(f.binary)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := trace.NewBinaryReader(bytes.NewReader(f.binary))
+		recs, err := rd.ReadAll()
+		if err != nil || len(recs) != len(f.recs) {
+			b.Fatalf("decoded %d records, err %v", len(recs), err)
+		}
+	}
+	reportRecords(b, len(f.recs))
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	f := loadCodec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wr := trace.NewBinaryWriter(io.Discard)
+		for j := range f.recs {
+			if err := wr.Write(&f.recs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := wr.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b, len(f.recs))
+}
+
+func BenchmarkDecodeParallelText(b *testing.B) {
+	f := loadCodec(b)
+	data := []byte(f.text)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, recs, err := trace.DecodeBytes(data, trace.DecodeOptions{}, 0)
+		if err != nil || len(recs) != len(f.recs) {
+			b.Fatalf("decoded %d records, err %v", len(recs), err)
+		}
+	}
+	reportRecords(b, len(f.recs))
+}
+
+func BenchmarkDecodeParallelBinary(b *testing.B) {
+	f := loadCodec(b)
+	b.SetBytes(int64(len(f.binary)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, recs, err := trace.DecodeBytes(f.binary, trace.DecodeOptions{}, 0)
+		if err != nil || len(recs) != len(f.recs) {
+			b.Fatalf("decoded %d records, err %v", len(recs), err)
+		}
+	}
+	reportRecords(b, len(f.recs))
+}

@@ -129,12 +129,28 @@ func (d Defines) Set(s string) error {
 	return nil
 }
 
+// ParseTraceFormat maps a -format flag value to a trace container format.
+// "auto" (and "") mean "decide from context" — mirror the input format on a
+// transform, or fall back to text — and return FormatUnknown.
+func ParseTraceFormat(s string) (trace.FileFormat, error) {
+	switch s {
+	case "text", "gleipnir":
+		return trace.FormatText, nil
+	case "binary", "glb":
+		return trace.FormatBinary, nil
+	case "", "auto":
+		return trace.FormatUnknown, nil
+	}
+	return trace.FormatUnknown, fmt.Errorf("bad trace format %q (want auto, text or binary)", s)
+}
+
 // TraceFlags registers the trace-decoder robustness flags shared by every
 // tool that ingests a trace file.
 type TraceFlags struct {
 	lenient *bool
 	maxBad  *int
 	maxLine *int
+	format  *string
 	tool    string
 }
 
@@ -147,6 +163,31 @@ func NewTraceFlags(fs *flag.FlagSet, tool string) *TraceFlags {
 		maxBad:  fs.Int("max-bad-lines", 0, "lenient mode: fail after skipping this many lines (0 = unlimited)"),
 		maxLine: fs.Int("max-line-bytes", 0, "maximum trace line length in bytes (0 = 1 MiB default)"),
 	}
+}
+
+// AddFormatFlag registers -format on fs for tools that write traces.
+// Opt-in rather than part of NewTraceFlags because some tools already own a
+// -format flag with a different meaning (setplot's plot style, gltrace's
+// output dialect). Readers never need it: input format is sniffed.
+func (tf *TraceFlags) AddFormatFlag(fs *flag.FlagSet) {
+	tf.format = fs.String("format", "auto", "output trace format: auto (mirror input) | text | binary")
+}
+
+// OutputFormat resolves the -format flag against the detected input format:
+// "auto" mirrors the input, so text pipelines stay text and binary stay
+// binary unless overridden.
+func (tf *TraceFlags) OutputFormat(input trace.FileFormat) (trace.FileFormat, error) {
+	if tf.format == nil {
+		return input, nil
+	}
+	f, err := ParseTraceFormat(*tf.format)
+	if err != nil {
+		return trace.FormatUnknown, err
+	}
+	if f == trace.FormatUnknown {
+		return input, nil
+	}
+	return f, nil
 }
 
 // Options builds the decoder options. In lenient mode every skipped line
@@ -198,20 +239,32 @@ func LoadTrace(path string) (trace.Header, []trace.Record, error) {
 // options. hasHdr reports whether the input actually began with a START
 // line, so writers can round-trip headerless traces byte-for-byte.
 func LoadTraceOpts(path string, opts trace.DecodeOptions) (h trace.Header, hasHdr bool, recs []trace.Record, err error) {
+	h, hasHdr, recs, _, err = LoadTraceFormat(path, opts)
+	return h, hasHdr, recs, err
+}
+
+// LoadTraceFormat is LoadTraceOpts plus the sniffed container format, for
+// tools that mirror the input format on output. The trace format (text or
+// binary) is detected from the file's magic, and decoding fans out across
+// GOMAXPROCS workers with serial-identical results.
+func LoadTraceFormat(path string, opts trace.DecodeOptions) (h trace.Header, hasHdr bool, recs []trace.Record, format trace.FileFormat, err error) {
 	in, err := OpenTrace(path)
 	if err != nil {
-		return trace.Header{}, false, nil, err
+		return trace.Header{}, false, nil, trace.FormatUnknown, err
 	}
 	defer in.Close()
-	rd := trace.NewReaderOptions(in, opts)
-	if h, err = rd.Header(); err != nil {
-		return h, rd.HasHeader(), nil, err
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return trace.Header{}, false, nil, trace.FormatUnknown, err
 	}
-	recs, err = rd.ReadAll()
+	format = trace.DetectFormat(data)
+	h, hasHdr, recs, err = trace.DecodeBytes(data, opts, 0)
 	reg := telemetry.Default()
 	reg.Counter("trace.decode.files").Inc()
+	reg.Counter("trace.decode.bytes").Add(int64(len(data)))
 	reg.Counter("trace.decode.records").Add(int64(len(recs)))
-	return h, rd.HasHeader(), recs, err
+	reg.Counter("trace.decode.records." + format.String()).Add(int64(len(recs)))
+	return h, hasHdr, recs, format, err
 }
 
 // WriteTrace writes a trace file ("-" means stdout), header included.
@@ -222,10 +275,37 @@ func WriteTrace(path string, h trace.Header, recs []trace.Record) error {
 // WriteTraceOpts writes a trace file ("-" means stdout), emitting the
 // START line only when hasHdr is true. File output goes through an atomic
 // temp-file+rename, so an interrupted run never leaves a truncated trace
-// at the destination path.
+// at the destination path. The container format follows the path: ".glb"
+// files are written binary, everything else text.
 func WriteTraceOpts(path string, h trace.Header, hasHdr bool, recs []trace.Record) error {
+	return WriteTraceFormat(path, h, hasHdr, recs, trace.FormatUnknown)
+}
+
+// countingWriter tallies bytes written, for the trace.encode.bytes counter.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTraceFormat is WriteTraceOpts with an explicit container format.
+// FormatUnknown picks by destination: ".glb" paths get binary, others text.
+func WriteTraceFormat(path string, h trace.Header, hasHdr bool, recs []trace.Record, format trace.FileFormat) error {
+	if format == trace.FormatUnknown {
+		format = trace.FormatText
+		if strings.HasSuffix(path, ".glb") {
+			format = trace.FormatBinary
+		}
+	}
+	var written int64
 	emit := func(out io.Writer) error {
-		w := trace.NewWriter(out)
+		cw := &countingWriter{w: out}
+		w := trace.NewWriterFormat(cw, format)
 		if hasHdr {
 			if err := w.WriteHeader(h); err != nil {
 				return err
@@ -236,12 +316,27 @@ func WriteTraceOpts(path string, h trace.Header, hasHdr bool, recs []trace.Recor
 				return err
 			}
 		}
-		return w.Flush()
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		written = cw.n
+		return nil
 	}
+	var err error
 	if path == "-" {
-		return emit(os.Stdout)
+		err = emit(os.Stdout)
+	} else {
+		err = trace.WriteToAtomic(path, emit)
 	}
-	return trace.WriteToAtomic(path, emit)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.Default()
+	reg.Counter("trace.encode.files").Inc()
+	reg.Counter("trace.encode.bytes").Add(written)
+	reg.Counter("trace.encode.records").Add(int64(len(recs)))
+	reg.Counter("trace.encode.records." + format.String()).Add(int64(len(recs)))
+	return nil
 }
 
 // WriteFile writes an output artifact ("-" means stdout) via an atomic

@@ -282,3 +282,95 @@ func TestWriteFileAtomicHelper(t *testing.T) {
 		t.Errorf("content = %q", got)
 	}
 }
+
+func TestParseTraceFormat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want trace.FileFormat
+		err  bool
+	}{
+		{"", trace.FormatUnknown, false},
+		{"auto", trace.FormatUnknown, false},
+		{"text", trace.FormatText, false},
+		{"gleipnir", trace.FormatText, false},
+		{"binary", trace.FormatBinary, false},
+		{"glb", trace.FormatBinary, false},
+		{"yaml", trace.FormatUnknown, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTraceFormat(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseTraceFormat(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestWriteTraceFormatBinaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := trace.Header{PID: 7}
+	rec, err := trace.ParseRecord("S 000601040 4 main GV g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{rec}
+
+	// An explicit binary request and a .glb extension under auto must both
+	// produce the block format; loading sniffs it back without being told.
+	for _, tc := range []struct {
+		name   string
+		format trace.FileFormat
+	}{
+		{"explicit.trc", trace.FormatBinary},
+		{"auto.glb", trace.FormatUnknown},
+	} {
+		p := filepath.Join(dir, tc.name)
+		if err := WriteTraceFormat(p, h, true, recs, tc.format); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace.DetectFormat(b) != trace.FormatBinary {
+			t.Fatalf("%s: not binary on disk: %q", tc.name, b[:min(len(b), 8)])
+		}
+		h2, hasHdr, recs2, format, err := LoadTraceFormat(p, trace.DecodeOptions{})
+		if err != nil || !hasHdr || h2 != h || format != trace.FormatBinary {
+			t.Fatalf("%s: load: h=%v hasHdr=%v format=%v err=%v", tc.name, h2, hasHdr, format, err)
+		}
+		if len(recs2) != 1 || !recs2[0].Equal(&rec) {
+			t.Fatalf("%s: records changed: %+v", tc.name, recs2)
+		}
+	}
+
+	// .glb loads still report text when the payload is text.
+	p := filepath.Join(dir, "lying.glb")
+	if err := WriteTraceFormat(p, h, true, recs, trace.FormatText); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, format, err := LoadTraceFormat(p, trace.DecodeOptions{}); err != nil || format != trace.FormatText {
+		t.Fatalf("text-in-.glb: format=%v err=%v", format, err)
+	}
+}
+
+func TestTraceFlagsOutputFormat(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	tf := NewTraceFlags(fs, "tool")
+	tf.AddFormatFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	// auto mirrors the input container.
+	if f, err := tf.OutputFormat(trace.FormatBinary); err != nil || f != trace.FormatBinary {
+		t.Errorf("auto: %v, %v", f, err)
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	tf2 := NewTraceFlags(fs2, "tool")
+	tf2.AddFormatFlag(fs2)
+	if err := fs2.Parse([]string{"-format", "text"}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := tf2.OutputFormat(trace.FormatBinary); err != nil || f != trace.FormatText {
+		t.Errorf("override: %v, %v", f, err)
+	}
+}

@@ -24,17 +24,23 @@ func (e PathElem) IsIndex() bool { return e.Field == "" }
 type Path []PathElem
 
 // String renders the path in C syntax (without the root variable name).
-func (p Path) String() string {
-	var b strings.Builder
+func (p Path) String() string { return string(p.AppendText(nil)) }
+
+// AppendText appends the C-syntax rendering of the path to dst and returns
+// the extended slice. It never allocates beyond growing dst, so codec hot
+// paths can render paths into reused scratch buffers.
+func (p Path) AppendText(dst []byte) []byte {
 	for _, e := range p {
 		if e.IsIndex() {
-			fmt.Fprintf(&b, "[%d]", e.Index)
+			dst = append(dst, '[')
+			dst = strconv.AppendInt(dst, e.Index, 10)
+			dst = append(dst, ']')
 		} else {
-			b.WriteByte('.')
-			b.WriteString(e.Field)
+			dst = append(dst, '.')
+			dst = append(dst, e.Field...)
 		}
 	}
-	return b.String()
+	return dst
 }
 
 // Equal reports whether two paths are identical.
@@ -67,6 +73,12 @@ type AccessExpr struct {
 
 // String renders the access in C syntax.
 func (a AccessExpr) String() string { return a.Root + a.Path.String() }
+
+// AppendText appends the C-syntax rendering of the access to dst and
+// returns the extended slice.
+func (a AccessExpr) AppendText(dst []byte) []byte {
+	return a.Path.AppendText(append(dst, a.Root...))
+}
 
 // ParseAccess parses a C-style access expression such as
 // "glStructArray[0].myArray[0]". The root identifier may contain any

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// TestWriterWriteZeroAlloc pins the text writer's per-record allocation
+// count at zero: Write renders into a scratch buffer the writer owns, so
+// steady-state encoding never touches the heap.
+func TestWriterWriteZeroAlloc(t *testing.T) {
+	_, recs := sampleRecords(t)
+	wr := NewWriter(io.Discard)
+	for i := range recs { // warm the scratch buffer
+		if err := wr.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := range recs {
+			if err := wr.Write(&recs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Writer.Write allocates: %.2f allocs per %d records, want 0", avg, len(recs))
+	}
+}
+
+// TestInternerParseZeroAlloc pins the byte-slice parser at zero
+// steady-state allocations: once the interner has seen every function and
+// variable in the working set, re-parsing lines is allocation-free.
+func TestInternerParseZeroAlloc(t *testing.T) {
+	var lines [][]byte
+	for _, l := range bytes.Split([]byte(sampleTrace), []byte("\n")) {
+		if len(l) == 0 || bytes.HasPrefix(l, []byte("START")) {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	in := NewInterner()
+	for _, l := range lines { // warm the intern tables
+		if _, err := in.ParseRecord(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, l := range lines {
+			if _, err := in.ParseRecord(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Interner.ParseRecord allocates: %.2f allocs per %d lines, want 0", avg, len(lines))
+	}
+}
+
+// TestReaderSteadyStateAllocs streams a large trace through the Reader and
+// asserts the steady state (after the interner and scratch buffers warm up
+// on an initial prefix) allocates nothing per record.
+func TestReaderSteadyStateAllocs(t *testing.T) {
+	const warm, measured = 200, 5000
+	data := []byte(bigTextTrace(2000)) // 6000 records
+	rd := NewReader(bytes.NewReader(data))
+	var rec Record
+	var err error
+	for i := 0; i < warm; i++ {
+		if rec, err = rd.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < measured; i++ {
+		if rec, err = rd.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	_ = rec
+	mallocs := after.Mallocs - before.Mallocs
+	// Allow a little background noise from the runtime itself, but per-record
+	// cost must round to zero.
+	if float64(mallocs)/measured > 0.01 {
+		t.Errorf("Reader.Read steady state: %d mallocs over %d records", mallocs, measured)
+	}
+}

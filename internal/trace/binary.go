@@ -1,0 +1,567 @@
+// Block-framed binary trace format (.glb).
+//
+// Layout:
+//
+//	preamble := magic[6] flags:u8 pid:svarint
+//	block    := payloadLen:uvarint recCount:uvarint crc32:u32le payload
+//	payload  := strCount:uvarint { len:uvarint bytes }* record*
+//	record   := tag:u8 addrDelta:svarint size:svarint funcIdx:uvarint
+//	            [ frame:svarint thread:svarint ]   (local only)
+//	            [ varIdx:uvarint ]                 (hasSym only)
+//
+// flags bit0 records whether the source trace had a START header. The tag
+// byte packs the op index (bits 0-1), hasSym (bit 2), local (bit 3) and
+// aggregate (bit 4). Addresses are delta-encoded against the previous
+// record in the same block (starting from zero), so blocks decode
+// independently: each carries its own string table (function names and
+// canonical variable access expressions) and a CRC32 (IEEE) over its
+// payload. That framing is what makes parallel decode and lenient
+// block-skip recovery possible.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// DefaultBlockRecords is how many records a BinaryWriter packs per block by
+// default. Big enough to amortize the string table, small enough that a
+// damaged block loses little and parallel decode has work to hand out.
+const DefaultBlockRecords = 4096
+
+// maxBlockPayload caps a block's declared payload size so a corrupt length
+// field cannot drive a giant allocation.
+const maxBlockPayload = 1 << 30
+
+// ErrBlockChecksum marks a binary block whose payload fails its CRC32. It
+// is reported wrapped in a *BadLineError whose Line is the 1-based block
+// ordinal.
+var ErrBlockChecksum = errors.New("block checksum mismatch")
+
+// opIndexes maps Op to its 2-bit tag encoding and back.
+var opFromIndex = [4]Op{Load, Store, Modify, Misc}
+
+func opIndex(o Op) byte {
+	switch o {
+	case Load:
+		return 0
+	case Store:
+		return 1
+	case Modify:
+		return 2
+	default:
+		return 3
+	}
+}
+
+const (
+	tagHasSym    = 1 << 2
+	tagLocal     = 1 << 3
+	tagAggregate = 1 << 4
+)
+
+// BinaryWriter streams records to the block-framed binary format. Call
+// Flush when done to emit the final partial block.
+type BinaryWriter struct {
+	bw        *bufio.Writer
+	blockRecs int
+	header    Header
+	hasHdr    bool
+	wrotePre  bool
+	recsSoFar int
+
+	strTab   []byte // encoded string-table entries for the block
+	strCount int
+	strIdx   map[string]uint64 // string -> table index
+	recBuf   []byte            // encoded records for the block
+	recCount int
+	prevAddr uint64
+	scratch  []byte // variable-expression rendering
+	payload  []byte // assembled block payload
+}
+
+// NewBinaryWriter returns a BinaryWriter over w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{
+		bw:        bufio.NewWriterSize(w, 256*1024),
+		blockRecs: DefaultBlockRecords,
+		strIdx:    make(map[string]uint64),
+	}
+}
+
+// SetBlockRecords overrides the records-per-block flush threshold (tests
+// and benchmarks; n < 1 is ignored).
+func (wr *BinaryWriter) SetBlockRecords(n int) {
+	if n >= 1 {
+		wr.blockRecs = n
+	}
+}
+
+// WriteHeader records the START header; it must precede any record.
+func (wr *BinaryWriter) WriteHeader(h Header) error {
+	if wr.hasHdr {
+		return fmt.Errorf("trace: header written twice")
+	}
+	if wr.wrotePre {
+		return fmt.Errorf("trace: header after records")
+	}
+	wr.header = h
+	wr.hasHdr = true
+	return nil
+}
+
+// writePreamble emits magic, flags and PID; the header becomes immutable.
+func (wr *BinaryWriter) writePreamble() error {
+	if wr.wrotePre {
+		return nil
+	}
+	wr.wrotePre = true
+	if _, err := wr.bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var flags byte
+	if wr.hasHdr {
+		flags |= 1
+	}
+	if err := wr.bw.WriteByte(flags); err != nil {
+		return err
+	}
+	_, err := wr.bw.Write(binary.AppendVarint(wr.scratch[:0], int64(wr.header.PID)))
+	return err
+}
+
+// internString returns the block-local string-table index for s, adding the
+// entry on first use. key avoids allocating when s is scratch-backed.
+func (wr *BinaryWriter) internString(key []byte) uint64 {
+	if idx, ok := wr.strIdx[string(key)]; ok {
+		return idx
+	}
+	idx := uint64(wr.strCount)
+	wr.strIdx[string(key)] = idx
+	wr.strCount++
+	wr.strTab = binary.AppendUvarint(wr.strTab, uint64(len(key)))
+	wr.strTab = append(wr.strTab, key...)
+	return idx
+}
+
+// Write appends one record, flushing a block when it is full.
+func (wr *BinaryWriter) Write(r *Record) error {
+	if err := wr.writePreamble(); err != nil {
+		return err
+	}
+	tag := opIndex(r.Op)
+	if r.HasSym {
+		tag |= tagHasSym
+		if r.Vis == Local {
+			tag |= tagLocal
+		}
+		if r.Aggregate {
+			tag |= tagAggregate
+		}
+	}
+	b := append(wr.recBuf, tag)
+	b = binary.AppendVarint(b, int64(r.Addr-wr.prevAddr))
+	b = binary.AppendVarint(b, r.Size)
+	wr.scratch = append(wr.scratch[:0], r.Func...)
+	b = binary.AppendUvarint(b, wr.internString(wr.scratch))
+	if r.HasSym {
+		if r.Vis == Local {
+			b = binary.AppendVarint(b, int64(r.Frame))
+			b = binary.AppendVarint(b, int64(r.Thread))
+		}
+		wr.scratch = r.Var.AppendText(wr.scratch[:0])
+		b = binary.AppendUvarint(b, wr.internString(wr.scratch))
+	}
+	wr.recBuf = b
+	wr.prevAddr = r.Addr
+	wr.recCount++
+	wr.recsSoFar++
+	if wr.recCount >= wr.blockRecs {
+		return wr.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock frames and writes the current block, then resets block state.
+func (wr *BinaryWriter) flushBlock() error {
+	if wr.recCount == 0 {
+		return nil
+	}
+	p := binary.AppendUvarint(wr.payload[:0], uint64(wr.strCount))
+	p = append(p, wr.strTab...)
+	p = append(p, wr.recBuf...)
+	wr.payload = p
+
+	hdr := binary.AppendUvarint(wr.scratch[:0], uint64(len(p)))
+	hdr = binary.AppendUvarint(hdr, uint64(wr.recCount))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(p))
+	wr.scratch = hdr
+	if _, err := wr.bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := wr.bw.Write(p); err != nil {
+		return err
+	}
+	wr.strTab = wr.strTab[:0]
+	wr.strCount = 0
+	clear(wr.strIdx)
+	wr.recBuf = wr.recBuf[:0]
+	wr.recCount = 0
+	wr.prevAddr = 0
+	return nil
+}
+
+// Flush writes the preamble (for empty traces), the final partial block and
+// any buffered output.
+func (wr *BinaryWriter) Flush() error {
+	if err := wr.writePreamble(); err != nil {
+		return err
+	}
+	if err := wr.flushBlock(); err != nil {
+		return err
+	}
+	return wr.bw.Flush()
+}
+
+// Records returns the number of records successfully written so far.
+func (wr *BinaryWriter) Records() int { return wr.recsSoFar }
+
+// BinaryReader streams records from the block-framed binary format. In
+// lenient mode, blocks with checksum or encoding damage are skipped whole,
+// each charged as one unit against the MaxBadLines budget and reported
+// through OnError with the 1-based block ordinal as the line number.
+type BinaryReader struct {
+	br     *bufio.Reader
+	opts   DecodeOptions
+	header Header
+	gotPre bool
+	hasHdr bool
+	block  int // 1-based ordinal of the block last read
+	bad    int
+	err    error
+
+	recs    []Record // decoded current block
+	next    int
+	dec     blockDecoder
+	payload []byte
+}
+
+// NewBinaryReader returns a strict BinaryReader over r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return NewBinaryReaderOptions(r, DecodeOptions{})
+}
+
+// NewBinaryReaderOptions returns a BinaryReader with explicit options.
+func NewBinaryReaderOptions(r io.Reader, opts DecodeOptions) *BinaryReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 256*1024)
+	}
+	return &BinaryReader{br: br, opts: opts, dec: blockDecoder{intern: NewInterner()}}
+}
+
+// ensurePre consumes and checks the preamble.
+func (rd *BinaryReader) ensurePre() error {
+	if rd.gotPre {
+		if rd.err != nil && rd.err != io.EOF {
+			return rd.err
+		}
+		return nil
+	}
+	rd.gotPre = true
+	var magic [BinaryMagicLen]byte
+	if _, err := io.ReadFull(rd.br, magic[:]); err != nil {
+		rd.err = fmt.Errorf("trace: short binary preamble: %w", err)
+		return rd.err
+	}
+	if magic != binaryMagic {
+		rd.err = fmt.Errorf("trace: bad binary magic %q", magic[:])
+		return rd.err
+	}
+	flags, err := rd.br.ReadByte()
+	if err != nil {
+		rd.err = fmt.Errorf("trace: short binary preamble: %w", err)
+		return rd.err
+	}
+	pid, err := binary.ReadVarint(rd.br)
+	if err != nil {
+		rd.err = fmt.Errorf("trace: bad binary preamble pid: %w", err)
+		return rd.err
+	}
+	rd.hasHdr = flags&1 != 0
+	if rd.hasHdr {
+		rd.header = Header{PID: int(pid)}
+	}
+	return nil
+}
+
+// Header returns the trace header (zero when the source had none).
+func (rd *BinaryReader) Header() (Header, error) {
+	if err := rd.ensurePre(); err != nil {
+		return rd.header, err
+	}
+	return rd.header, nil
+}
+
+// HasHeader reports whether the source trace carried a START header.
+func (rd *BinaryReader) HasHeader() bool { return rd.hasHdr }
+
+// BadLines returns the number of damaged blocks skipped in lenient mode.
+func (rd *BinaryReader) BadLines() int { return rd.bad }
+
+// Blocks returns the number of blocks consumed so far.
+func (rd *BinaryReader) Blocks() int { return rd.block }
+
+// badBlock mirrors the text reader's skipBad for a damaged block.
+func (rd *BinaryReader) badBlock(err error) (bool, error) {
+	ble := &BadLineError{Line: rd.block, Err: err}
+	if rd.opts.OnError != nil {
+		rd.opts.OnError(ble.Line, "", ble.Err)
+	}
+	if rd.opts.Mode != Lenient {
+		return false, ble
+	}
+	rd.bad++
+	if rd.opts.MaxBadLines > 0 && rd.bad > rd.opts.MaxBadLines {
+		return false, fmt.Errorf("%w (bad-line budget %d exhausted)", ble, rd.opts.MaxBadLines)
+	}
+	return true, nil
+}
+
+// loadBlock reads and decodes the next block into rd.recs. io.EOF means a
+// clean end of stream.
+func (rd *BinaryReader) loadBlock() error {
+	for {
+		payloadLen, err := binary.ReadUvarint(rd.br)
+		if err == io.EOF {
+			return io.EOF
+		}
+		if err != nil {
+			return fmt.Errorf("trace: block %d: bad frame: %w", rd.block+1, err)
+		}
+		rd.block++
+		if payloadLen > maxBlockPayload {
+			return fmt.Errorf("trace: block %d: payload length %d exceeds limit", rd.block, payloadLen)
+		}
+		recCount, err := binary.ReadUvarint(rd.br)
+		if err != nil {
+			return fmt.Errorf("trace: block %d: bad frame: %w", rd.block, err)
+		}
+		if recCount > payloadLen {
+			return fmt.Errorf("trace: block %d: record count %d exceeds payload %d", rd.block, recCount, payloadLen)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(rd.br, crcBuf[:]); err != nil {
+			return fmt.Errorf("trace: block %d: bad frame: %w", rd.block, err)
+		}
+		if cap(rd.payload) < int(payloadLen) {
+			rd.payload = make([]byte, payloadLen)
+		}
+		rd.payload = rd.payload[:payloadLen]
+		if _, err := io.ReadFull(rd.br, rd.payload); err != nil {
+			return fmt.Errorf("trace: block %d: truncated payload: %w", rd.block, err)
+		}
+		// Framing is intact from here on, so damage is skippable: the next
+		// block starts right after the payload we already consumed.
+		if crc32.ChecksumIEEE(rd.payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			if ok, lerr := rd.badBlock(ErrBlockChecksum); ok {
+				continue
+			} else {
+				return lerr
+			}
+		}
+		if derr := rd.decodeBlock(rd.payload, int(recCount)); derr != nil {
+			if ok, lerr := rd.badBlock(derr); ok {
+				continue
+			} else {
+				return lerr
+			}
+		}
+		return nil
+	}
+}
+
+// decodeBlock decodes a CRC-valid payload into rd.recs.
+func (rd *BinaryReader) decodeBlock(p []byte, recCount int) error {
+	recs, err := rd.dec.decode(p, recCount, rd.recs[:0])
+	rd.recs = recs
+	rd.next = 0
+	return err
+}
+
+// blockDecoder decodes block payloads. It is the per-goroutine state of the
+// parallel decoder and the block-decoding half of BinaryReader.
+type blockDecoder struct {
+	intern *Interner
+	strs   []string
+}
+
+// decode appends the payload's records to recs and returns the extended
+// slice. The payload must already have passed its CRC check.
+func (d *blockDecoder) decode(p []byte, recCount int, recs []Record) ([]Record, error) {
+	strCount, n := binary.Uvarint(p)
+	if n <= 0 || strCount > uint64(len(p)) {
+		return recs, fmt.Errorf("bad string table header")
+	}
+	p = p[n:]
+	d.strs = d.strs[:0]
+	for i := uint64(0); i < strCount; i++ {
+		slen, n := binary.Uvarint(p)
+		if n <= 0 || slen > uint64(len(p)-n) {
+			return recs, fmt.Errorf("bad string table entry %d", i)
+		}
+		d.strs = append(d.strs, d.intern.internFuncString(string(p[n:n+int(slen)])))
+		p = p[n+int(slen):]
+	}
+	var prevAddr uint64
+	for i := 0; i < recCount; i++ {
+		if len(p) == 0 {
+			return recs, fmt.Errorf("truncated record %d", i)
+		}
+		tag := p[0]
+		p = p[1:]
+		var r Record
+		r.Op = opFromIndex[tag&3]
+		delta, n := binary.Varint(p)
+		if n <= 0 {
+			return recs, fmt.Errorf("bad address in record %d", i)
+		}
+		p = p[n:]
+		r.Addr = prevAddr + uint64(delta)
+		prevAddr = r.Addr
+		size, n := binary.Varint(p)
+		if n <= 0 || size < 0 {
+			return recs, fmt.Errorf("bad size in record %d", i)
+		}
+		p = p[n:]
+		r.Size = size
+		fidx, n := binary.Uvarint(p)
+		if n <= 0 || fidx >= uint64(len(d.strs)) {
+			return recs, fmt.Errorf("bad function index in record %d", i)
+		}
+		p = p[n:]
+		r.Func = d.strs[fidx]
+		if tag&tagHasSym != 0 {
+			r.HasSym = true
+			r.Vis = Global
+			r.Aggregate = tag&tagAggregate != 0
+			if tag&tagLocal != 0 {
+				r.Vis = Local
+				frame, n := binary.Varint(p)
+				if n <= 0 {
+					return recs, fmt.Errorf("bad frame in record %d", i)
+				}
+				p = p[n:]
+				thread, n := binary.Varint(p)
+				if n <= 0 {
+					return recs, fmt.Errorf("bad thread in record %d", i)
+				}
+				p = p[n:]
+				r.Frame, r.Thread = int(frame), int(thread)
+			}
+			vidx, n := binary.Uvarint(p)
+			if n <= 0 || vidx >= uint64(len(d.strs)) {
+				return recs, fmt.Errorf("bad variable index in record %d", i)
+			}
+			p = p[n:]
+			v, err := d.intern.internVarString(d.strs[vidx])
+			if err != nil {
+				return recs, fmt.Errorf("bad variable in record %d: %v", i, err)
+			}
+			r.Var = v
+		} else if tag&(tagLocal|tagAggregate) != 0 {
+			return recs, fmt.Errorf("bad tag %#x in record %d", tag, i)
+		}
+		recs = append(recs, r)
+	}
+	if len(p) != 0 {
+		return recs, fmt.Errorf("%d trailing bytes after %d records", len(p), recCount)
+	}
+	return recs, nil
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (rd *BinaryReader) Read() (Record, error) {
+	if rd.err != nil {
+		return Record{}, rd.err
+	}
+	if err := rd.ensurePre(); err != nil {
+		return Record{}, err
+	}
+	for rd.next >= len(rd.recs) {
+		if err := rd.loadBlock(); err != nil {
+			rd.err = err
+			return Record{}, err
+		}
+	}
+	r := rd.recs[rd.next]
+	rd.next++
+	return r, nil
+}
+
+// ReadBatch fills dst with up to len(dst) records and returns how many were
+// read; (0, io.EOF) signals end of stream. Whole decoded blocks are copied
+// at once, so large batches decode with no per-record overhead.
+func (rd *BinaryReader) ReadBatch(dst []Record) (int, error) {
+	if rd.err != nil {
+		return 0, rd.err
+	}
+	if err := rd.ensurePre(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		if rd.next >= len(rd.recs) {
+			err := rd.loadBlock()
+			if err == io.EOF {
+				if n > 0 {
+					return n, nil
+				}
+				rd.err = io.EOF
+				return 0, io.EOF
+			}
+			if err != nil {
+				rd.err = err
+				return n, err
+			}
+		}
+		c := copy(dst[n:], rd.recs[rd.next:])
+		rd.next += c
+		n += c
+	}
+	return n, nil
+}
+
+// ReadAll reads the remaining records into a slice.
+func (rd *BinaryReader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		if rd.next < len(rd.recs) {
+			recs = append(recs, rd.recs[rd.next:]...)
+			rd.next = len(rd.recs)
+		}
+		if rd.err != nil {
+			if rd.err == io.EOF {
+				return recs, nil
+			}
+			return recs, rd.err
+		}
+		if err := rd.ensurePre(); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return recs, err
+		}
+		if err := rd.loadBlock(); err != nil {
+			rd.err = err
+			if err == io.EOF {
+				return recs, nil
+			}
+			return recs, err
+		}
+	}
+}

@@ -52,9 +52,9 @@ type DecodeOptions struct {
 	// (lenient) as *BadLineError{Err: ErrLineTooLong}.
 	MaxLineBytes int
 	// OnError, if non-nil, is invoked once per malformed line with the
-	// 1-based line number, the raw text (empty for oversized lines, whose
-	// content is discarded) and the underlying parse error. It fires in
-	// both modes, before the decoder decides whether to skip or fail.
+	// 1-based line number, the offending text (truncated to a ~128-byte
+	// prefix for oversized lines) and the underlying parse error. It fires
+	// in both modes, before the decoder decides whether to skip or fail.
 	OnError func(line int, text string, err error)
 }
 
@@ -68,7 +68,9 @@ func (o *DecodeOptions) maxLine() int {
 
 // BadLineError is a malformed line: a record or START header that failed to
 // parse, or a line over the length limit. Line is 1-based; Text is the
-// offending line ("" when it was discarded for length).
+// offending line (truncated to its first ~128 bytes when the line was
+// discarded for length). Binary-format decoders reuse the type for damaged
+// blocks, with Line carrying the 1-based block ordinal.
 type BadLineError struct {
 	Line int
 	Text string

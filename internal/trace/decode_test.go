@@ -25,9 +25,9 @@ func TestDecodeDamagedTraces(t *testing.T) {
 			strictRecs: 2, lenRecs: 2,
 		},
 		{
-			name:       "truncated mid-record",
-			src:        "START PID 1\nS 000601040 4 main GV g\nL 0006",
-			strictErr:  "line 3", strictRecs: 1,
+			name:      "truncated mid-record",
+			src:       "START PID 1\nS 000601040 4 main GV g\nL 0006",
+			strictErr: "line 3", strictRecs: 1,
 			lenRecs: 1, lenBad: 1,
 		},
 		{
@@ -43,16 +43,16 @@ func TestDecodeDamagedTraces(t *testing.T) {
 			lenBad:    1,
 		},
 		{
-			name:       "garbage between records",
-			src:        "START PID 1\nS 000601040 4 main GV g\n!!@@ junk\nL 000601040 4 main GV g\n",
-			strictErr:  "line 3", strictRecs: 1,
+			name:      "garbage between records",
+			src:       "START PID 1\nS 000601040 4 main GV g\n!!@@ junk\nL 000601040 4 main GV g\n",
+			strictErr: "line 3", strictRecs: 1,
 			lenRecs: 2, lenBad: 1,
 		},
 		{
-			name:       "oversized line",
-			src:        "START PID 1\nS 000601040 4 main GV g\n" + strings.Repeat("y", 200) + "\nL 000601040 4 main GV g\n",
-			maxLine:    100,
-			strictErr:  "line 3", strictRecs: 1,
+			name:      "oversized line",
+			src:       "START PID 1\nS 000601040 4 main GV g\n" + strings.Repeat("y", 200) + "\nL 000601040 4 main GV g\n",
+			maxLine:   100,
+			strictErr: "line 3", strictRecs: 1,
 			lenRecs: 2, lenBad: 1,
 		},
 		{

@@ -1,0 +1,119 @@
+// Trace container formats. The package supports two encodings of the same
+// record stream: the Gleipnir line-oriented text format (io.go) and a
+// block-framed binary format (binary.go). Format sniffing plus the
+// RecordReader/RecordWriter interfaces let every tool accept either
+// transparently.
+package trace
+
+import (
+	"bufio"
+	"io"
+)
+
+// FileFormat identifies a trace container encoding.
+type FileFormat int
+
+// Trace container formats.
+const (
+	FormatUnknown FileFormat = iota
+	// FormatText is the Gleipnir line format: "START PID <n>" plus one
+	// whitespace-separated record per line.
+	FormatText
+	// FormatBinary is the block-framed binary format (.glb): a magic-tagged
+	// preamble followed by independently decodable blocks, each with its own
+	// string table, varint+delta record encoding and CRC32 checksum.
+	FormatBinary
+)
+
+// String names the format as spelled by the -format CLI flags.
+func (f FileFormat) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary"
+	}
+	return "unknown"
+}
+
+// binaryMagic opens every binary trace. The 0x89 byte keeps it out of the
+// text grammar (and of ASCII transports), "GLB1" names format+version, and
+// the newline catches line-ending translation, PNG-style.
+var binaryMagic = [6]byte{0x89, 'G', 'L', 'B', '1', '\n'}
+
+// BinaryMagicLen is how many leading bytes DetectFormat needs to identify a
+// binary trace.
+const BinaryMagicLen = len(binaryMagic)
+
+// DetectFormat sniffs the container format from the first bytes of a trace
+// (at least BinaryMagicLen bytes for a reliable answer; shorter prefixes
+// sniff as text, which fails loudly downstream if wrong). Anything not
+// starting with the binary magic is treated as text, matching the
+// historical behaviour for arbitrary line input.
+func DetectFormat(prefix []byte) FileFormat {
+	if len(prefix) >= BinaryMagicLen && string(prefix[:BinaryMagicLen]) == string(binaryMagic[:]) {
+		return FormatBinary
+	}
+	return FormatText
+}
+
+// RecordReader is the decoding half shared by the text Reader and the
+// BinaryReader, so pipelines can consume either format behind one type.
+type RecordReader interface {
+	// Header returns the trace header (zero when absent).
+	Header() (Header, error)
+	// HasHeader reports whether the input carried a header; meaningful
+	// after Header or the first Read.
+	HasHeader() bool
+	// Read returns the next record, or io.EOF at end of stream.
+	Read() (Record, error)
+	// ReadBatch fills dst and returns how many records were read; (0,
+	// io.EOF) signals end of stream.
+	ReadBatch(dst []Record) (int, error)
+	// ReadAll reads the remaining records.
+	ReadAll() ([]Record, error)
+	// BadLines returns how many damaged units (lines or blocks) were
+	// skipped in lenient mode.
+	BadLines() int
+}
+
+// RecordWriter is the encoding half shared by the text Writer and the
+// BinaryWriter.
+type RecordWriter interface {
+	// WriteHeader writes the trace header; it must precede any record.
+	WriteHeader(h Header) error
+	// Write appends one record.
+	Write(r *Record) error
+	// Flush writes out any buffered data; it must be called when done.
+	Flush() error
+	// Records returns the number of records successfully written so far.
+	Records() int
+}
+
+// OpenReader sniffs the format of r and returns a decoder for it plus the
+// detected format. Sniffing never consumes input, so a text stream that
+// merely resembles the magic is impossible (the magic byte 0x89 cannot open
+// a valid text trace).
+func OpenReader(r io.Reader, opts DecodeOptions) (RecordReader, FileFormat, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok || br.Size() < BinaryMagicLen {
+		br = bufio.NewReaderSize(r, 64*1024)
+	}
+	prefix, err := br.Peek(BinaryMagicLen)
+	if err != nil && err != io.EOF {
+		return nil, FormatUnknown, err
+	}
+	if DetectFormat(prefix) == FormatBinary {
+		return NewBinaryReaderOptions(br, opts), FormatBinary, nil
+	}
+	return NewReaderOptions(br, opts), FormatText, nil
+}
+
+// NewWriterFormat returns an encoder for the requested format
+// (FormatUnknown selects text, the historical default).
+func NewWriterFormat(w io.Writer, f FileFormat) RecordWriter {
+	if f == FormatBinary {
+		return NewBinaryWriter(w)
+	}
+	return NewWriter(w)
+}

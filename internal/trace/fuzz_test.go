@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -75,4 +77,89 @@ func FuzzReader(f *testing.F) {
 			t.Fatalf("lenient recovered %d records, strict %d", len(lenRecs), len(strictRecs))
 		}
 	})
+}
+
+// FuzzCodecRoundTrip is the differential fuzzer for the two container
+// formats: any text trace the lenient decoder accepts must survive a
+// text → binary → text round trip byte-identically, and the byte-slice
+// record parser must agree with the string parser on every input line.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add("START PID 13063\nS 000601040 4 main GV glScalar\nL 7ff0001b0 8 main\n")
+	f.Add("S 0006010e0 8 foo GS glStructArray[0].d1\nM 7ff0001b8 4 main LV 0 1 i\n")
+	f.Add("START PID -7\nX 7ff0001a8 8 foo\nS 7ff0001b0 8 main LS 2 3 a[1].b[9]\n")
+	f.Add("junk\nS 000601040 4 main GV glScalar\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Differential check: the zero-alloc byte parser and the string
+		// parser must accept the same lines and produce equal records.
+		for _, line := range strings.Split(src, "\n") {
+			rs, errS := ParseRecord(line)
+			rb, errB := ParseRecordBytes([]byte(line))
+			if (errS == nil) != (errB == nil) {
+				t.Fatalf("parser disagreement on %q: string err=%v bytes err=%v", line, errS, errB)
+			}
+			if errS == nil && !rs.Equal(&rb) {
+				t.Fatalf("parsers differ on %q: %q vs %q", line, rs.String(), rb.String())
+			}
+		}
+
+		// Round trip: decode leniently, re-render as canonical text, then
+		// push through the binary codec and back.
+		rd := NewReaderOptions(strings.NewReader(src), DecodeOptions{Mode: Lenient})
+		recs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("lenient decode: %v", err)
+		}
+		h, err := rd.Header()
+		if err != nil {
+			t.Fatalf("header: %v", err)
+		}
+		hasHdr := rd.HasHeader()
+
+		var canon bytes.Buffer
+		if err := writeTrace(&canon, h, hasHdr, recs, FormatText); err != nil {
+			t.Fatalf("render text: %v", err)
+		}
+
+		var bin bytes.Buffer
+		if err := writeTrace(&bin, h, hasHdr, recs, FormatBinary); err != nil {
+			t.Fatalf("encode binary: %v", err)
+		}
+		br := NewBinaryReader(bytes.NewReader(bin.Bytes()))
+		recs2, err := br.ReadAll()
+		if err != nil {
+			t.Fatalf("decode binary: %v", err)
+		}
+		h2, err := br.Header()
+		if err != nil {
+			t.Fatalf("binary header: %v", err)
+		}
+		if br.HasHeader() != hasHdr || (hasHdr && h2 != h) {
+			t.Fatalf("header changed: %v/%v -> %v/%v", h, hasHdr, h2, br.HasHeader())
+		}
+		var canon2 bytes.Buffer
+		if err := writeTrace(&canon2, h2, br.HasHeader(), recs2, FormatText); err != nil {
+			t.Fatalf("re-render text: %v", err)
+		}
+		if !bytes.Equal(canon.Bytes(), canon2.Bytes()) {
+			t.Fatalf("text -> binary -> text changed the trace:\nbefore: %q\nafter:  %q",
+				canon.String(), canon2.String())
+		}
+	})
+}
+
+// writeTrace renders records in the given container format.
+func writeTrace(w io.Writer, h Header, hasHdr bool, recs []Record, f FileFormat) error {
+	tw := NewWriterFormat(w, f)
+	if hasHdr {
+		if err := tw.WriteHeader(h); err != nil {
+			return err
+		}
+	}
+	for i := range recs {
+		if err := tw.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
 }

@@ -2,20 +2,27 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// oversizePrefixLen is how many bytes of an over-long line are retained in
+// BadLineError.Text so diagnostics can show what was skipped.
+const oversizePrefixLen = 128
 
 // Reader streams records from a Gleipnir trace file. Its tolerance for
 // malformed input is set by DecodeOptions; see NewReaderOptions.
 type Reader struct {
 	br         *bufio.Reader
 	opts       DecodeOptions
+	intern     *Interner
 	header     Header
 	gotHdr     bool
-	hasHdr     bool   // input actually began with a START line
-	pending    string // non-header first line peeked while looking for START
+	hasHdr     bool // input actually began with a START line
+	buf        []byte
+	pending    []byte // non-header first line peeked while looking for START
 	hasPending bool
 	line       int
 	bad        int
@@ -28,7 +35,7 @@ func NewReader(r io.Reader) *Reader { return NewReaderOptions(r, DecodeOptions{}
 
 // NewReaderOptions returns a Reader with explicit decode options.
 func NewReaderOptions(r io.Reader, opts DecodeOptions) *Reader {
-	return &Reader{br: bufio.NewReaderSize(r, 64*1024), opts: opts}
+	return &Reader{br: bufio.NewReaderSize(r, 64*1024), opts: opts, intern: NewInterner()}
 }
 
 // Header returns the trace header. If the stream has no START line the
@@ -51,46 +58,65 @@ func (rd *Reader) Line() int { return rd.line }
 func (rd *Reader) BadLines() int { return rd.bad }
 
 // readLine returns the next input line without its terminator, counting it
-// in rd.line. It returns io.EOF at end of input, a *BadLineError for a line
-// over the length limit (whose bytes are fully consumed, so the stream
-// remains usable), or a line-annotated I/O error.
-func (rd *Reader) readLine() (string, error) {
+// in rd.line. The returned slice aliases the Reader's scratch buffer and is
+// valid only until the next readLine call. It returns io.EOF at end of
+// input, a *BadLineError for a line over the length limit (whose bytes are
+// fully consumed, so the stream remains usable, and whose Text carries the
+// first oversizePrefixLen bytes), or a line-annotated I/O error.
+func (rd *Reader) readLine() ([]byte, error) {
 	max := rd.opts.maxLine()
-	var buf []byte
+	buf := rd.buf[:0]
 	overflow := false
 	for {
 		frag, err := rd.br.ReadSlice('\n')
-		if len(frag) > 0 && !overflow {
-			if len(buf)+len(frag) > max+1 { // +1 for the newline itself
+		if len(frag) > 0 {
+			switch {
+			case overflow:
+				// Keep only the diagnostic prefix of an over-long line.
+				if len(buf) < oversizePrefixLen {
+					buf = append(buf, frag...)
+				}
+			case len(buf)+len(frag) > max+1: // +1 for the newline itself
 				overflow = true
-				buf = nil
-			} else {
+				buf = append(buf, frag...)
+			default:
 				buf = append(buf, frag...)
 			}
+			if overflow && len(buf) > oversizePrefixLen {
+				buf = buf[:oversizePrefixLen]
+			}
 		}
+		rd.buf = buf[:0]
 		switch err {
 		case nil:
 			rd.line++
 			if overflow {
-				return "", &BadLineError{Line: rd.line, Err: ErrLineTooLong}
+				return nil, rd.oversizeErr(buf)
 			}
-			return strings.TrimSuffix(string(buf), "\n"), nil
+			return bytes.TrimSuffix(buf, []byte("\n")), nil
 		case bufio.ErrBufferFull:
 			continue
 		case io.EOF:
 			if len(buf) == 0 && !overflow {
-				return "", io.EOF
+				return nil, io.EOF
 			}
 			// Final line without a trailing newline.
 			rd.line++
 			if overflow {
-				return "", &BadLineError{Line: rd.line, Err: ErrLineTooLong}
+				return nil, rd.oversizeErr(buf)
 			}
-			return string(buf), nil
+			return buf, nil
 		default:
-			return "", fmt.Errorf("line %d: %w", rd.line+1, err)
+			return nil, fmt.Errorf("line %d: %w", rd.line+1, err)
 		}
 	}
+}
+
+// oversizeErr builds the BadLineError for an over-long line, carrying the
+// retained diagnostic prefix (sans any trailing newline) in Text.
+func (rd *Reader) oversizeErr(prefix []byte) *BadLineError {
+	prefix = bytes.TrimSuffix(prefix, []byte("\n"))
+	return &BadLineError{Line: rd.line, Text: string(prefix), Err: ErrLineTooLong}
 }
 
 // skipBad decides what to do with a malformed line: in lenient mode within
@@ -139,14 +165,14 @@ func (rd *Reader) ensureHeader() error {
 			rd.err = err
 			return rd.err
 		}
-		text = strings.TrimSpace(text)
-		if text == "" {
+		text = bytes.TrimSpace(text)
+		if len(text) == 0 {
 			continue
 		}
-		if strings.HasPrefix(text, "START") {
-			h, herr := ParseHeader(text)
+		if bytes.HasPrefix(text, []byte("START")) {
+			h, herr := ParseHeader(string(text))
 			if herr != nil {
-				ble := &BadLineError{Line: rd.line, Text: text, Err: herr}
+				ble := &BadLineError{Line: rd.line, Text: string(text), Err: herr}
 				if ok, lerr := rd.skipBad(ble); ok {
 					// Lenient: drop the corrupt header line and treat the
 					// trace as headerless.
@@ -160,7 +186,7 @@ func (rd *Reader) ensureHeader() error {
 			rd.hasHdr = true
 			return nil
 		}
-		rd.pending = text
+		rd.pending = append(rd.pending[:0], text...)
 		rd.hasPending = true
 		return nil
 	}
@@ -176,7 +202,7 @@ func (rd *Reader) Read() (Record, error) {
 		return Record{}, err
 	}
 	for {
-		var text string
+		var text []byte
 		if rd.hasPending {
 			text = rd.pending
 			rd.hasPending = false
@@ -199,14 +225,14 @@ func (rd *Reader) Read() (Record, error) {
 				rd.err = err
 				return Record{}, rd.err
 			}
-			text = strings.TrimSpace(text)
-			if text == "" {
+			text = bytes.TrimSpace(text)
+			if len(text) == 0 {
 				continue
 			}
 		}
-		rec, perr := ParseRecord(text)
+		rec, perr := rd.intern.ParseRecord(text)
 		if perr != nil {
-			ble := &BadLineError{Line: rd.line, Text: text, Err: perr}
+			ble := &BadLineError{Line: rd.line, Text: string(text), Err: perr}
 			if ok, lerr := rd.skipBad(ble); ok {
 				continue
 			} else {
@@ -216,6 +242,28 @@ func (rd *Reader) Read() (Record, error) {
 		}
 		return rec, nil
 	}
+}
+
+// ReadBatch fills dst with up to len(dst) records and returns how many were
+// read. It returns io.EOF only when no records were read and the stream is
+// exhausted, so callers can loop until (0, io.EOF).
+func (rd *Reader) ReadBatch(dst []Record) (int, error) {
+	n := 0
+	for n < len(dst) {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		if err != nil {
+			return n, err
+		}
+		dst[n] = rec
+		n++
+	}
+	return n, nil
 }
 
 // ReadAll reads the remaining records into a slice.
@@ -236,6 +284,7 @@ func (rd *Reader) ReadAll() ([]Record, error) {
 // Writer streams records to a trace file in Gleipnir format.
 type Writer struct {
 	bw        *bufio.Writer
+	scratch   []byte
 	wroteHdr  bool
 	recsSoFar int
 }
@@ -258,12 +307,11 @@ func (wr *Writer) WriteHeader(h Header) error {
 	return err
 }
 
-// Write appends one record.
+// Write appends one record. It renders into a writer-owned scratch buffer,
+// so steady-state writes perform no allocations.
 func (wr *Writer) Write(r *Record) error {
-	var b strings.Builder
-	r.appendTo(&b)
-	b.WriteByte('\n')
-	if _, err := wr.bw.WriteString(b.String()); err != nil {
+	wr.scratch = append(r.AppendText(wr.scratch[:0]), '\n')
+	if _, err := wr.bw.Write(wr.scratch); err != nil {
 		return err
 	}
 	wr.recsSoFar++
@@ -290,12 +338,12 @@ func ParseAll(src string) (Header, []Record, error) {
 
 // Format renders a header and records as a trace file string.
 func Format(h Header, recs []Record) string {
-	var b strings.Builder
-	b.WriteString(h.String())
-	b.WriteByte('\n')
+	var buf []byte
+	buf = append(buf, h.String()...)
+	buf = append(buf, '\n')
 	for i := range recs {
-		recs[i].appendTo(&b)
-		b.WriteByte('\n')
+		buf = recs[i].AppendText(buf)
+		buf = append(buf, '\n')
 	}
-	return b.String()
+	return string(buf)
 }

@@ -106,26 +106,7 @@ func (r *Record) ScopeCode() string {
 }
 
 // String formats the record exactly as Gleipnir writes it.
-func (r *Record) String() string {
-	var b strings.Builder
-	r.appendTo(&b)
-	return b.String()
-}
-
-func (r *Record) appendTo(b *strings.Builder) {
-	b.WriteByte(byte(r.Op))
-	fmt.Fprintf(b, " %09x %d %s", r.Addr, r.Size, r.Func)
-	if !r.HasSym {
-		return
-	}
-	b.WriteByte(' ')
-	b.WriteString(r.ScopeCode())
-	if r.Vis == Local {
-		fmt.Fprintf(b, " %d %d", r.Frame, r.Thread)
-	}
-	b.WriteByte(' ')
-	b.WriteString(r.Var.String())
-}
+func (r *Record) String() string { return string(r.AppendText(nil)) }
 
 // Equal reports whether two records are identical, including metadata.
 func (r *Record) Equal(s *Record) bool {
@@ -151,59 +132,10 @@ func (r *Record) IsWrite() bool { return r.Op == Store || r.Op == Modify }
 func (r *Record) IsRead() bool { return r.Op == Load || r.Op == Modify }
 
 // ParseRecord parses one trace line. It rejects the START header (use
-// ParseHeader) and malformed lines.
+// ParseHeader) and malformed lines. It is a convenience wrapper around
+// ParseRecordBytes, which is the canonical grammar.
 func ParseRecord(line string) (Record, error) {
-	var r Record
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return r, fmt.Errorf("trace: short record %q", line)
-	}
-	if len(fields[0]) != 1 {
-		return r, fmt.Errorf("trace: bad op %q in %q", fields[0], line)
-	}
-	r.Op = Op(fields[0][0])
-	if !r.Op.Valid() {
-		return r, fmt.Errorf("trace: bad op %q in %q", fields[0], line)
-	}
-	if _, err := fmt.Sscanf(fields[1], "%x", &r.Addr); err != nil {
-		return r, fmt.Errorf("trace: bad address %q in %q", fields[1], line)
-	}
-	if _, err := fmt.Sscanf(fields[2], "%d", &r.Size); err != nil || r.Size < 0 {
-		return r, fmt.Errorf("trace: bad size %q in %q", fields[2], line)
-	}
-	r.Func = fields[3]
-	if len(fields) == 4 {
-		return r, nil
-	}
-	scope := fields[4]
-	if len(scope) != 2 || (scope[0] != 'G' && scope[0] != 'L') || (scope[1] != 'V' && scope[1] != 'S') {
-		return r, fmt.Errorf("trace: bad scope %q in %q", scope, line)
-	}
-	r.HasSym = true
-	r.Vis = Visibility(scope[0])
-	r.Aggregate = scope[1] == 'S'
-	rest := fields[5:]
-	if r.Vis == Local {
-		if len(rest) != 3 {
-			return r, fmt.Errorf("trace: local record needs frame, thread, var: %q", line)
-		}
-		if _, err := fmt.Sscanf(rest[0], "%d", &r.Frame); err != nil {
-			return r, fmt.Errorf("trace: bad frame %q in %q", rest[0], line)
-		}
-		if _, err := fmt.Sscanf(rest[1], "%d", &r.Thread); err != nil {
-			return r, fmt.Errorf("trace: bad thread %q in %q", rest[1], line)
-		}
-		rest = rest[2:]
-	}
-	if len(rest) != 1 {
-		return r, fmt.Errorf("trace: expected variable name at end of %q", line)
-	}
-	v, err := ctype.ParseAccess(rest[0])
-	if err != nil {
-		return r, fmt.Errorf("trace: %v in %q", err, line)
-	}
-	r.Var = v
-	return r, nil
+	return parseRecordBytes([]byte(line), nil)
 }
 
 // Header is the trace-file preamble.

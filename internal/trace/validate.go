@@ -42,11 +42,15 @@ const (
 	CodeOrder    = "order"     // non-monotonic thread introduction, bad frame depth
 	CodeSymRef   = "symref"    // symbol-table referential integrity
 	CodeNoHeader = "no-header" // trace has no START line at all
+	CodeBlock    = "block"     // binary trace: damaged or unreadable block
 )
 
 // Diag is one validator finding.
 type Diag struct {
-	Line int // 1-based input line, 0 when not line-specific
+	// Line is the 1-based input line (0 when not line-specific). For
+	// binary traces it is the record ordinal, or the block ordinal for
+	// CodeBlock findings.
+	Line int
 	Sev  Severity
 	Code string
 	Msg  string
@@ -64,7 +68,8 @@ func (d Diag) String() string {
 type Report struct {
 	// Records is the count of well-formed records seen.
 	Records int
-	// BadLines is the count of undecodable lines.
+	// BadLines is the count of undecodable lines (for binary traces, of
+	// dropped blocks).
 	BadLines int
 	// HasHeader reports whether a valid START line was present.
 	HasHeader bool
@@ -149,19 +154,24 @@ type ValidateOptions struct {
 const synthLimit = memmodel.StackTop + 1<<16
 
 // Validate streams the trace from r through the decoder and semantic
-// checks. The returned error is non-nil only for I/O failures or a blown
-// bad-line budget — format problems land in the Report instead.
+// checks. Both container formats are accepted — the format is sniffed from
+// the magic. The returned error is non-nil only for I/O failures or a
+// blown bad-line budget — format problems (including damaged or truncated
+// binary blocks) land in the Report instead.
 func Validate(r io.Reader, opts ValidateOptions) (*Report, error) {
 	rep := &Report{max: opts.MaxDiags}
 	if rep.max == 0 {
 		rep.max = 100
 	}
 	sawBadHeader := false
+	isBinary := false
 	dec := DecodeOptions{
 		Mode:         Lenient,
 		MaxLineBytes: opts.MaxLineBytes,
 		OnError: func(line int, text string, err error) {
 			switch {
+			case isBinary:
+				rep.add(line, SevError, CodeBlock, "damaged block dropped: %v", err)
 			case err == ErrLineTooLong:
 				rep.add(line, SevError, CodeLineLen, "%v", err)
 			case strings.HasPrefix(text, "START"):
@@ -176,15 +186,30 @@ func Validate(r io.Reader, opts ValidateOptions) (*Report, error) {
 			}
 		},
 	}
-	rd := NewReaderOptions(r, dec)
+	rd, format, err := OpenReader(r, dec)
+	if err != nil {
+		return rep, err
+	}
+	isBinary = format == FormatBinary
+	lineOf := func() int {
+		if tr, ok := rd.(*Reader); ok {
+			return tr.Line()
+		}
+		return rep.Records // binary: record ordinal
+	}
 	h, err := rd.Header()
 	if err != nil && err != io.EOF {
+		if isBinary {
+			rep.add(0, SevError, CodeBlock, "unreadable binary preamble: %v", err)
+			rep.publish()
+			return rep, nil
+		}
 		return rep, err
 	}
 	rep.Header, rep.HasHeader = h, rd.HasHeader()
 	v := newRecordChecker(rep)
 	if rep.HasHeader {
-		v.checkHeader(rd.Line(), h)
+		v.checkHeader(lineOf(), h)
 	}
 	for {
 		rec, err := rd.Read()
@@ -192,10 +217,16 @@ func Validate(r io.Reader, opts ValidateOptions) (*Report, error) {
 			break
 		}
 		if err != nil {
+			if isBinary {
+				// Framing damage is unrecoverable (the block chain is
+				// lost); report it and stop instead of aborting glcheck.
+				rep.add(0, SevError, CodeBlock, "binary stream unreadable: %v", err)
+				break
+			}
 			return rep, err
 		}
 		rep.Records++
-		v.check(rd.Line(), &rec, opts.SkipRegionChecks)
+		v.check(lineOf(), &rec, opts.SkipRegionChecks)
 	}
 	rep.BadLines = rd.BadLines()
 	// A corrupt START already produced a header finding; only flag traces

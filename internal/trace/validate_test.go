@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -210,5 +211,57 @@ func TestValidateRecordsInProcess(t *testing.T) {
 	rep = ValidateRecords(Header{PID: 13063}, true, recs)
 	if rep.OK() {
 		t.Error("unmapped address not flagged")
+	}
+}
+
+func TestValidateBinaryTrace(t *testing.T) {
+	h, recs, err := ParseAll(validTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeBinary(t, &h, recs, 2)
+	rep, err := Validate(bytes.NewReader(data), ValidateOptions{})
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !rep.OK() || rep.Warnings() != 0 {
+		t.Fatalf("clean binary trace: %s", rep.Summary())
+	}
+	if rep.Records != len(recs) || !rep.HasHeader || rep.Header.PID != 13063 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// Flip a payload byte: the damaged block must surface as a dropped-block
+	// error diag with the block ordinal, not abort validation.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xff
+	rep, err = Validate(bytes.NewReader(bad), ValidateOptions{})
+	if err != nil {
+		t.Fatalf("validate damaged: %v", err)
+	}
+	if rep.OK() {
+		t.Fatal("damaged block not flagged")
+	}
+	codes := diagCodes(rep)
+	if codes[CodeBlock] == 0 {
+		t.Errorf("no %s diag: %+v", CodeBlock, rep.Diags)
+	}
+	if rep.BadLines != 1 {
+		t.Errorf("BadLines = %d, want 1 dropped block", rep.BadLines)
+	}
+	if rep.Records != len(recs)-2 {
+		t.Errorf("records = %d, want %d (one 2-record block dropped)", rep.Records, len(recs)-2)
+	}
+}
+
+func TestValidateBinaryBadPreamble(t *testing.T) {
+	data := append([]byte(nil), binaryMagic[:]...)
+	// Truncated right after the magic: flags and PID missing.
+	rep, err := Validate(bytes.NewReader(data), ValidateOptions{})
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if rep.OK() || diagCodes(rep)[CodeBlock] == 0 {
+		t.Errorf("unreadable preamble not flagged: %s", rep.Summary())
 	}
 }

@@ -216,6 +216,16 @@ func checkInvariants(v *validator, doc any, lossless bool, require []string) {
 			v.errorf("required counter %q missing or zero", name)
 		}
 	}
+	// Decoded records are attributed to exactly one container format, so
+	// whenever the decoder ran, the per-format split must account for the
+	// total.
+	if decoded, ok := get("trace.decode.records"); ok {
+		text, _ := get("trace.decode.records.text")
+		binary, _ := get("trace.decode.records.binary")
+		if decoded != text+binary {
+			v.errorf("trace.decode.records %d != text %d + binary %d", decoded, text, binary)
+		}
+	}
 	if !lossless {
 		return
 	}
