@@ -6,6 +6,14 @@
 //
 //	dinero -l1-size 32k -l1-bsize 32 -l1-assoc 1 trace.out
 //	gltrace -w trans3-cont | dinero -l1-assoc 64 -l1-repl rr -plot -
+//
+// Multi-configuration mode evaluates several geometries in one pass over
+// the trace (decode, translation and symbol resolution are shared); with
+// -sample-sets/-sample-interval the pass is approximate and prints scaled
+// estimates instead of full reports:
+//
+//	dinero -config size=8k -config size=16k -config size=32k,assoc=2 trace.out
+//	dinero -configs sweep.cfgs -sample-sets 8 trace.out
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"os"
 
 	"tracedst/internal/analysis"
+	"tracedst/internal/cache"
 	"tracedst/internal/cliutil"
 	"tracedst/internal/dinero"
 	"tracedst/internal/pagemap"
@@ -28,6 +37,12 @@ func main() {
 	csv := fs.String("csv", "", "write the per-set CSV to this file")
 	gnuplot := fs.String("gnuplot", "", "write gnuplot .dat series to this file")
 	noSym := fs.Bool("nosym", false, "include unannotated records as a (nosym) series")
+	var cfgSpecs cliutil.Repeated
+	fs.Var(&cfgSpecs, "config", "extra cache config as key=value overrides of the -l1 flags, e.g. size=8k,assoc=2 (repeatable; enables single-pass multi-config mode)")
+	configsFile := fs.String("configs", "", "file with one -config spec per line (# comments, - for stdin)")
+	sampleSets := fs.Int("sample-sets", 0, "approximate: simulate every Nth cache set, scale stats (power of two, 0/1 = exact)")
+	sampleInterval := fs.Int("sample-interval", 0, "approximate: simulate every Kth window of records, scale stats (0/1 = exact)")
+	sampleWindow := fs.Int("sample-window", 0, "records per -sample-interval window (0 = default)")
 	phys := fs.String("phys", "off", "physical indexing: off | seq | shuffled (4 KiB pages)")
 	physSeed := fs.Uint64("phys-seed", 0, "seed for the shuffled frame permutation")
 	tf := cliutil.NewTraceFlags(fs, "dinero")
@@ -65,6 +80,12 @@ func main() {
 			obs.Fatal(err)
 		}
 		opts.L2 = &cfg2
+	}
+	sampling := dinero.Sampling{SetFactor: *sampleSets, Interval: *sampleInterval, Window: *sampleWindow}
+	if len(cfgSpecs) > 0 || *configsFile != "" || !sampling.Exact() {
+		runMulti(fs.Arg(0), opts, cfgSpecs, *configsFile, sampling, tf,
+			*plot || *csv != "" || *gnuplot != "")
+		return
 	}
 	sim, err := dinero.New(opts)
 	if err != nil {
@@ -105,3 +126,73 @@ func main() {
 // obs is the tool's observability context; set first thing in main so
 // every error path can flush profiles and the metrics manifest.
 var obs *cliutil.Obs
+
+// runMulti is the single-pass multi-configuration mode: the trace is
+// decoded, translated and symbol-resolved once, and every config (the -l1
+// flags as base, overridden per -config/-configs spec) simulates from that
+// shared stream. Reports print back-to-back in config order and are
+// byte-identical to independent runs when sampling is exact.
+func runMulti(path string, opts dinero.Options, specs []string, specFile string, sampling dinero.Sampling, tf *cliutil.TraceFlags, wantsPlot bool) {
+	if wantsPlot {
+		obs.Fatal(fmt.Errorf("-plot/-csv/-gnuplot need a single exact config"))
+	}
+	cfgs := []cache.Config{}
+	if specFile != "" {
+		fromFile, err := cliutil.LoadConfigSpecs(specFile, opts.L1)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		cfgs = fromFile
+	}
+	for _, spec := range specs {
+		cfg, err := cliutil.ParseConfigSpec(opts.L1, spec)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	if len(cfgs) == 0 {
+		cfgs = append(cfgs, opts.L1) // sampling-only mode: base config alone
+	}
+	ms, err := dinero.NewMulti(dinero.MultiOptions{
+		Configs:   cfgs,
+		L2:        opts.L2,
+		Translate: opts.Translate,
+		Sampling:  sampling,
+	})
+	if err != nil {
+		obs.Fatal(err)
+	}
+	sp := obs.Reg.StartSpan("dinero/load")
+	_, _, recs, err := cliutil.LoadTraceOpts(path, tf.Options())
+	sp.End()
+	if err != nil {
+		obs.Fatal(err)
+	}
+	sp = obs.Reg.StartSpan("dinero/simulate")
+	ms.Process(recs)
+	sp.End()
+	ms.PublishTelemetry(obs.Reg)
+	for i := 0; i < ms.NumConfigs(); i++ {
+		cfg := ms.Config(i)
+		fmt.Printf("==== config %d/%d: %s ====\n", i+1, ms.NumConfigs(), describeConfig(cfg))
+		if sampling.Exact() {
+			fmt.Print(ms.Report(i))
+			continue
+		}
+		st := ms.ScaledStats(i)
+		fmt.Printf("sampled estimate (scale %.4g): accesses %d, misses %d, miss ratio %.4f\n",
+			ms.Scale(i), st.Accesses(), st.Misses(), st.MissRatio())
+	}
+	obs.Close()
+}
+
+// describeConfig renders a config header for multi-config output.
+func describeConfig(cfg cache.Config) string {
+	name := cfg.Name
+	if name == "" {
+		name = "l1"
+	}
+	return fmt.Sprintf("%s size=%d bsize=%d assoc=%d repl=%s",
+		name, cfg.Size, cfg.BlockSize, cfg.Assoc, cfg.Repl)
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"tracedst/internal/cliutil"
+	"tracedst/internal/dinero"
 	"tracedst/internal/experiments"
 )
 
@@ -54,6 +55,9 @@ func main() {
 	retries := fs.Int("retries", 0, "retry a task failing with a transient I/O error this many times")
 	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubled each attempt")
 	maxSteps := fs.Int64("max-steps", 0, "per-workload interpreter step budget; runaway workloads fail instead of hanging (0 = default limit)")
+	sampleSets := fs.Int("sample-sets", 0, "approximate sweeps: simulate every Nth cache set (power of two, 0/1 = exact)")
+	sampleInterval := fs.Int("sample-interval", 0, "approximate sweeps: simulate every Kth window of records (0/1 = exact)")
+	sampleWindow := fs.Int("sample-window", 0, "records per -sample-interval window (0 = default)")
 	of := cliutil.NewObsFlags(fs, "experiments")
 	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
@@ -83,6 +87,15 @@ func main() {
 			RetryBackoff: *retryBackoff,
 			KeepGoing:    *keepGoing,
 		},
+		Sampling: dinero.Sampling{
+			SetFactor: *sampleSets,
+			Interval:  *sampleInterval,
+			Window:    *sampleWindow,
+		},
+	}
+	if !opts.Sampling.Exact() {
+		obs.Log.Info("sweeps run sampled: results are scaled estimates",
+			"sample_sets", *sampleSets, "sample_interval", *sampleInterval)
 	}
 	dir := *ckptDir
 	if *resumeDir != "" {

@@ -405,6 +405,10 @@ func (c *Cache) classifyTouch(block uint64) {
 	c.shadow.touch(block)
 }
 
+// MergeStats folds another run's counters into this level's statistics
+// (see Stats.Merge) — the aggregation hook for sharded simulation.
+func (c *Cache) MergeStats(other Stats) { c.stats.Merge(other) }
+
 // Flush invalidates every line, leaving statistics in place (cold-cache
 // restarts between benchmark iterations).
 func (c *Cache) Flush() {

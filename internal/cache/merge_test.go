@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsMergeProperty checks the sharding identity behind Merge:
+// simulating a trace in two shards on cold caches and merging the stats
+// equals one simulation of the concatenated trace with a Flush at the
+// boundary (Flush invalidates lines and resets replacement/classification
+// state but keeps counters — exactly a shard boundary). ReplRandom is
+// excluded: its draw stream survives Flush, so a cold-started shard
+// diverges.
+func TestStatsMergeProperty(t *testing.T) {
+	cfgs := []Config{
+		{Size: 1024, BlockSize: 32, Assoc: 1},
+		{Size: 4096, BlockSize: 32, Assoc: 2, Repl: ReplLRU},
+		{Size: 4096, BlockSize: 64, Assoc: 4, Repl: ReplFIFO},
+		{Size: 8192, BlockSize: 32, Assoc: 64, Repl: ReplRoundRobin},
+		{Size: 4096, BlockSize: 32, Assoc: 2, Write: WriteThrough, Alloc: NoWriteAllocate},
+		{Size: 2048, BlockSize: 32, Assoc: 2, Repl: ReplLRU, ClassifyMisses: true},
+	}
+	traffic := multiTraffic(12000)
+	for _, split := range []int{0, 1, len(traffic) / 3, len(traffic) / 2, len(traffic) - 1, len(traffic)} {
+		a, b := traffic[:split], traffic[split:]
+		for ci, cfg := range cfgs {
+			feed := func(c *Cache, part []multiTrafficCase) {
+				var buf []Outcome
+				for _, tc := range part {
+					buf = c.Access(tc.kind, tc.addr, tc.size, tc.owner, buf[:0])
+				}
+			}
+			ref, err := New(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(ref, a)
+			ref.Flush()
+			feed(ref, b)
+
+			shardA, _ := New(cfg, nil)
+			shardB, _ := New(cfg, nil)
+			feed(shardA, a)
+			feed(shardB, b)
+			merged := shardA.Stats()
+			merged.Merge(shardB.Stats())
+
+			if !reflect.DeepEqual(merged, ref.Stats()) {
+				t.Errorf("config %d (%+v) split %d: merged shards != concatenated run\n merged: %+v\n ref:    %+v",
+					ci, cfg, split, statsNoPerSet(merged), statsNoPerSet(ref.Stats()))
+			}
+		}
+	}
+}
+
+// TestStatsMergeGrowsPerSet pins the slice-growth edge: merging stats from
+// a cache with more sets widens the receiver without losing entries.
+func TestStatsMergeGrowsPerSet(t *testing.T) {
+	small := Stats{Reads: 2, ReadHits: 1, ReadMisses: 1, PerSet: []SetStats{{Hits: 1, Misses: 1}}}
+	big := Stats{Writes: 3, WriteHits: 3, PerSet: []SetStats{{Hits: 1}, {Hits: 2}}}
+	small.Merge(big)
+	want := Stats{Reads: 2, ReadHits: 1, ReadMisses: 1, Writes: 3, WriteHits: 3,
+		PerSet: []SetStats{{Hits: 2, Misses: 1}, {Hits: 2}}}
+	if !reflect.DeepEqual(small, want) {
+		t.Errorf("merge with growth: got %+v, want %+v", small, want)
+	}
+	// Merge into an empty Stats must be a pure copy.
+	var zero Stats
+	zero.Merge(want)
+	if !reflect.DeepEqual(zero, want) {
+		t.Errorf("merge into zero: got %+v, want %+v", zero, want)
+	}
+}

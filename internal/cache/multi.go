@@ -1,0 +1,403 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MultiSim evaluates N cache configurations over one access stream in a
+// single pass: callers decode an address once and every configuration
+// updates its own tag/replacement state and statistics. Results are exactly
+// those of N independent Cache instances fed the same accesses — the golden
+// equivalence tests assert byte-identical statistics — but the per-config
+// state lives in flat, id-indexed slices (tags, replacement stamps, owners
+// and flag bytes each in their own contiguous array, indexed set×assoc+way)
+// so the inner loop touches dense memory instead of chasing per-set slice
+// headers.
+//
+// The kernel covers single-level configurations without prefetching or
+// three-C classification (CanMulti reports eligibility); dinero.MultiSim
+// layers multi-level and classified configs on top by falling back to full
+// Cache instances behind the same record-sharing front end.
+//
+// A MultiSim additionally supports deterministic set sampling: with
+// SampleSets = K (a power of two), only sets whose index is ≡ 0 (mod K) are
+// simulated and the rest of the traffic is dropped before touching any
+// state. Because a set-associative cache's per-set state depends only on
+// the accesses mapping to that set, the sampled sets' statistics are exact
+// (for recency-based policies; ReplRandom draws from a shared per-config
+// stream and becomes approximate), and scaling by the sampled fraction
+// estimates the full-trace totals.
+//
+// A MultiSim is not safe for concurrent use.
+type MultiSim struct {
+	per        []multiCfg
+	sampleSets int
+}
+
+// line-state flag bits.
+const (
+	mValid uint8 = 1 << iota
+	mDirty
+)
+
+// multiCfg is one configuration's flattened cache state.
+type multiCfg struct {
+	cfg      Config
+	setMask  uint64
+	setBits  uint
+	blkShift uint
+	assoc    int
+	nsets    int
+	clock    uint64
+	rng      uint64
+
+	// sampleMask selects simulated sets (index&sampleMask == 0); zero
+	// means every set. sampledSets is how many sets survive the filter.
+	sampleMask  uint64
+	sampledSets int
+
+	// Flat line state, indexed set*assoc+way. stamps carries the
+	// replacement policy's recency value: last use for LRU, fill time for
+	// FIFO; round-robin and random ignore it.
+	tags   []uint64
+	stamps []uint64
+	owners []OwnerID
+	flags  []uint8
+
+	// rr is the per-set round-robin pointer (ReplRoundRobin only).
+	rr []int32
+	// hint is the per-set most-recently-hit way, a search-order shortcut:
+	// valid tags are unique within a set, so checking the hinted way first
+	// finds the same line the full scan would.
+	hint []int32
+
+	stats Stats
+}
+
+// MultiVisit observes one simulated block access of one configuration:
+// which set it landed in, whether it hit, and the owner of the line it
+// evicted (NoOwner when nothing attributable was evicted). dinero's
+// multi-config simulator uses it to attribute per-variable and
+// per-function statistics without materializing Outcome slices.
+type MultiVisit func(cfg, set int, hit bool, evictedOwner OwnerID)
+
+// CanMulti reports whether cfg is eligible for the single-pass kernel:
+// a valid single-level geometry without sequential prefetch or three-C
+// classification (those paths need the full Cache machinery).
+func CanMulti(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Prefetch != PrefetchNone {
+		return fmt.Errorf("cache: multi-config kernel does not support prefetching (config %q)", cfg.Name)
+	}
+	if cfg.ClassifyMisses {
+		return fmt.Errorf("cache: multi-config kernel does not support miss classification (config %q)", cfg.Name)
+	}
+	return nil
+}
+
+// NewMultiSim builds a single-pass simulator over cfgs. sampleSets of 0 or
+// 1 simulates every set; a power of two K simulates only sets ≡ 0 (mod K)
+// in every configuration.
+func NewMultiSim(cfgs []Config, sampleSets int) (*MultiSim, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cache: NewMultiSim needs at least one config")
+	}
+	if sampleSets < 0 || (sampleSets > 1 && bits.OnesCount(uint(sampleSets)) != 1) {
+		return nil, fmt.Errorf("cache: set-sampling factor %d is not a power of two", sampleSets)
+	}
+	m := &MultiSim{per: make([]multiCfg, len(cfgs)), sampleSets: sampleSets}
+	for i, cfg := range cfgs {
+		if err := CanMulti(cfg); err != nil {
+			return nil, err
+		}
+		p := &m.per[i]
+		nsets := cfg.Sets()
+		assoc := cfg.Assoc
+		if assoc == 0 {
+			assoc = int(cfg.Size / cfg.BlockSize)
+		}
+		p.cfg = cfg
+		p.setMask = uint64(nsets - 1)
+		p.setBits = uint(bits.OnesCount64(p.setMask))
+		p.blkShift = uint(bits.TrailingZeros64(uint64(cfg.BlockSize)))
+		p.assoc = assoc
+		p.nsets = nsets
+		p.rng = cfg.Seed*2862933555777941757 + 3037000493
+		p.tags = make([]uint64, nsets*assoc)
+		p.stamps = make([]uint64, nsets*assoc)
+		p.owners = make([]OwnerID, nsets*assoc)
+		p.flags = make([]uint8, nsets*assoc)
+		p.hint = make([]int32, nsets)
+		if cfg.Repl == ReplRoundRobin {
+			p.rr = make([]int32, nsets)
+		}
+		p.stats.PerSet = make([]SetStats, nsets)
+		p.sampledSets = nsets
+		if sampleSets > 1 {
+			p.sampleMask = uint64(sampleSets - 1)
+			p.sampledSets = (nsets + sampleSets - 1) / sampleSets
+		}
+	}
+	return m, nil
+}
+
+// NumConfigs returns how many configurations the simulator evaluates.
+func (m *MultiSim) NumConfigs() int { return len(m.per) }
+
+// Config returns configuration i.
+func (m *MultiSim) Config(i int) Config { return m.per[i].cfg }
+
+// Stats returns a snapshot of configuration i's raw statistics. Under set
+// sampling these cover only the sampled sets; SetScale gives the factor a
+// caller multiplies by to estimate full-trace totals.
+func (m *MultiSim) Stats(i int) Stats { return m.per[i].stats }
+
+// SampleSets returns the set-sampling factor (0 or 1 = exact).
+func (m *MultiSim) SampleSets() int { return m.sampleSets }
+
+// SetScale returns the per-config scaling factor that turns sampled-set
+// counts into full-cache estimates: total sets over sampled sets (1 when
+// sampling is off).
+func (m *MultiSim) SetScale(i int) float64 {
+	p := &m.per[i]
+	if p.sampleMask == 0 {
+		return 1
+	}
+	return float64(p.nsets) / float64(p.sampledSets)
+}
+
+// Access performs one possibly block-spanning access against every
+// configuration. visit, when non-nil, is called once per simulated block
+// per configuration (set-sampled blocks are skipped entirely).
+func (m *MultiSim) Access(kind Kind, addr uint64, size int64, owner OwnerID, visit MultiVisit) {
+	if size <= 0 {
+		size = 1
+	}
+	end := addr + uint64(size) - 1
+	for ci := range m.per {
+		p := &m.per[ci]
+		if p.assoc == 1 && visit == nil {
+			p.accessDirectRun(kind, addr, end, owner)
+			continue
+		}
+		first := addr >> p.blkShift
+		last := end >> p.blkShift
+		for b := first; b <= last; b++ {
+			si := b & p.setMask
+			if si&p.sampleMask != 0 {
+				continue
+			}
+			hit, ev := p.accessBlock(kind, b, si, owner)
+			if visit != nil {
+				visit(ci, int(si), hit, ev)
+			}
+		}
+	}
+}
+
+// accessDirectRun is the direct-mapped specialization of the block loop
+// for callers that do not observe outcomes: the lookup, statistics and
+// fill are inlined over locally bound slices whose masked indexing lets
+// the compiler drop bounds checks. Decisions and counters are identical
+// to accessBlock with assoc == 1 — the equivalence tests cover both
+// paths.
+func (p *multiCfg) accessDirectRun(kind Kind, addr, end uint64, owner OwnerID) {
+	tags := p.tags
+	n := len(tags)
+	if n == 0 {
+		return
+	}
+	stamps := p.stamps[:n]
+	owners := p.owners[:n]
+	flags := p.flags[:n]
+	perSet := p.stats.PerSet[:n]
+	wb := p.cfg.Write == WriteBack
+	writeAround := kind == Write && p.cfg.Alloc == NoWriteAllocate
+	setDirty := kind == Write && wb
+	first := addr >> p.blkShift
+	last := end >> p.blkShift
+	for b := first; b <= last; b++ {
+		si := int(b) & (n - 1)
+		if uint64(si)&p.sampleMask != 0 {
+			continue
+		}
+		p.clock++
+		tag := b >> p.setBits
+		if tags[si] == tag && flags[si]&mValid != 0 { // hit
+			if setDirty {
+				flags[si] |= mDirty
+			}
+			if kind == Read {
+				p.stats.Reads++
+				p.stats.ReadHits++
+			} else {
+				p.stats.Writes++
+				p.stats.WriteHits++
+			}
+			perSet[si].Hits++
+			continue
+		}
+		if kind == Read {
+			p.stats.Reads++
+			p.stats.ReadMisses++
+		} else {
+			p.stats.Writes++
+			p.stats.WriteMisses++
+		}
+		perSet[si].Misses++
+		if writeAround {
+			continue
+		}
+		if f := flags[si]; f&mValid != 0 {
+			p.stats.Evictions++
+			if f&mDirty != 0 {
+				p.stats.Writebacks++
+			}
+		}
+		tags[si] = tag
+		stamps[si] = p.clock
+		owners[si] = owner
+		fl := mValid
+		if setDirty {
+			fl |= mDirty
+		}
+		flags[si] = fl
+	}
+}
+
+// accessBlock mirrors Cache.accessBlock for the supported envelope
+// (single level, no prefetch, no classification): same clock, same
+// replacement decisions, same statistics.
+func (p *multiCfg) accessBlock(kind Kind, block, si uint64, owner OwnerID) (hit bool, evictedOwner OwnerID) {
+	p.clock++
+	tag := block >> p.setBits
+	base := int(si) * p.assoc
+
+	w := -1
+	if p.assoc == 1 {
+		if p.tags[base] == tag && p.flags[base]&mValid != 0 {
+			w = 0
+		}
+	} else {
+		if h := int(p.hint[si]); h < p.assoc {
+			if i := base + h; p.tags[i] == tag && p.flags[i]&mValid != 0 {
+				w = h
+			}
+		}
+		if w < 0 {
+			for j := 0; j < p.assoc; j++ {
+				if i := base + j; p.tags[i] == tag && p.flags[i]&mValid != 0 {
+					w = j
+					break
+				}
+			}
+		}
+	}
+
+	if w >= 0 { // hit
+		i := base + w
+		if p.assoc > 1 {
+			p.hint[si] = int32(w)
+		}
+		if p.cfg.Repl == ReplLRU {
+			p.stamps[i] = p.clock
+		}
+		if kind == Write && p.cfg.Write == WriteBack {
+			p.flags[i] |= mDirty
+		}
+		p.record(kind, si, true)
+		return true, NoOwner
+	}
+
+	// Miss.
+	p.record(kind, si, false)
+	if kind == Write && p.cfg.Alloc == NoWriteAllocate {
+		// Write-around: no fill (and no next level to forward to).
+		return false, NoOwner
+	}
+
+	if p.assoc == 1 {
+		w = 0
+	} else {
+		w = p.victim(base, si)
+	}
+	i := base + w
+	if p.flags[i]&mValid != 0 {
+		evictedOwner = p.owners[i]
+		p.stats.Evictions++
+		if p.flags[i]&mDirty != 0 {
+			p.stats.Writebacks++
+		}
+	}
+	p.tags[i] = tag
+	p.stamps[i] = p.clock
+	p.owners[i] = owner
+	fl := mValid
+	if kind == Write && p.cfg.Write == WriteBack {
+		fl |= mDirty
+	}
+	p.flags[i] = fl
+	if p.assoc > 1 {
+		p.hint[si] = int32(w)
+	}
+	return false, evictedOwner
+}
+
+// victim replicates Cache.pickVictim on the flat layout: an invalid way
+// always wins, then the configured policy decides.
+func (p *multiCfg) victim(base int, si uint64) int {
+	for w := 0; w < p.assoc; w++ {
+		if p.flags[base+w]&mValid == 0 {
+			return w
+		}
+	}
+	switch p.cfg.Repl {
+	case ReplLRU, ReplFIFO:
+		best, bestStamp := 0, p.stamps[base]
+		for w := 1; w < p.assoc; w++ {
+			if s := p.stamps[base+w]; s < bestStamp {
+				best, bestStamp = w, s
+			}
+		}
+		return best
+	case ReplRandom:
+		// xorshift64*, same stream as Cache.
+		p.rng ^= p.rng >> 12
+		p.rng ^= p.rng << 25
+		p.rng ^= p.rng >> 27
+		return int((p.rng * 2685821657736338717) % uint64(p.assoc))
+	case ReplRoundRobin:
+		w := p.rr[si]
+		p.rr[si] = (w + 1) % int32(p.assoc)
+		return int(w)
+	}
+	return 0
+}
+
+// record updates the demand counters, inlining Cache.record's non-classify
+// half.
+func (p *multiCfg) record(kind Kind, si uint64, hit bool) {
+	ps := &p.stats.PerSet[si]
+	if kind == Read {
+		p.stats.Reads++
+		if hit {
+			p.stats.ReadHits++
+			ps.Hits++
+		} else {
+			p.stats.ReadMisses++
+			ps.Misses++
+		}
+	} else {
+		p.stats.Writes++
+		if hit {
+			p.stats.WriteHits++
+			ps.Hits++
+		} else {
+			p.stats.WriteMisses++
+			ps.Misses++
+		}
+	}
+}

@@ -74,11 +74,77 @@ func (s Stats) Report(name string) string {
 	return b.String()
 }
 
+// Merge adds other's counters into s, element-wise for the per-set tally
+// (growing s.PerSet if other covers more sets). Every Stats field is a sum
+// over independent accesses, so merging is exact and associative: simulating
+// a trace in shards — with cold caches between shards, i.e. a Flush at each
+// boundary — and merging the shard stats yields the same totals as one
+// simulation of the concatenated trace. This is the aggregation primitive
+// for sharded sweep scale-out.
+func (s *Stats) Merge(other Stats) {
+	s.Reads += other.Reads
+	s.ReadHits += other.ReadHits
+	s.ReadMisses += other.ReadMisses
+	s.Writes += other.Writes
+	s.WriteHits += other.WriteHits
+	s.WriteMisses += other.WriteMisses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+	s.Prefetches += other.Prefetches
+	s.PrefetchFills += other.PrefetchFills
+	s.Compulsory += other.Compulsory
+	s.Capacity += other.Capacity
+	s.Conflict += other.Conflict
+	if len(other.PerSet) > len(s.PerSet) {
+		grown := make([]SetStats, len(other.PerSet))
+		copy(grown, s.PerSet)
+		s.PerSet = grown
+	}
+	for i, ps := range other.PerSet {
+		s.PerSet[i].Hits += ps.Hits
+		s.PerSet[i].Misses += ps.Misses
+	}
+}
+
 func ratio(num, den int64) float64 {
 	if den == 0 {
 		return 0
 	}
 	return float64(num) / float64(den)
+}
+
+// Scaled returns a copy of s with every total multiplied by factor and
+// rounded to the nearest count — the estimate a sampled simulation reports
+// for the full trace. Per-set counters are scaled too; under set sampling
+// the unsampled sets stay zero (scaling cannot invent sets that were never
+// simulated), so per-set consumers should read only the sampled indices.
+func (s Stats) Scaled(factor float64) Stats {
+	if factor == 1 {
+		out := s
+		out.PerSet = append([]SetStats(nil), s.PerSet...)
+		return out
+	}
+	scale := func(n int64) int64 { return int64(float64(n)*factor + 0.5) }
+	out := Stats{
+		Reads:         scale(s.Reads),
+		ReadHits:      scale(s.ReadHits),
+		ReadMisses:    scale(s.ReadMisses),
+		Writes:        scale(s.Writes),
+		WriteHits:     scale(s.WriteHits),
+		WriteMisses:   scale(s.WriteMisses),
+		Evictions:     scale(s.Evictions),
+		Writebacks:    scale(s.Writebacks),
+		Prefetches:    scale(s.Prefetches),
+		PrefetchFills: scale(s.PrefetchFills),
+		Compulsory:    scale(s.Compulsory),
+		Capacity:      scale(s.Capacity),
+		Conflict:      scale(s.Conflict),
+		PerSet:        make([]SetStats, len(s.PerSet)),
+	}
+	for i, ps := range s.PerSet {
+		out.PerSet[i] = SetStats{Hits: scale(ps.Hits), Misses: scale(ps.Misses)}
+	}
+	return out
 }
 
 // OccupiedSets returns the indices of sets with any traffic, in order.

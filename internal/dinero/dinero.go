@@ -16,7 +16,6 @@ package dinero
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"tracedst/internal/cache"
@@ -137,14 +136,10 @@ type Simulator struct {
 	syms     *trace.SymTab
 	trustIDs bool // record ids were issued by syms
 	nosymID  trace.SymID
-	nsets    int
 
-	// varsByID / funcsByID are indexed by trace.SymID; nil entries are
-	// symbols the simulation never touched.
-	varsByID  []*VarSeries
-	funcsByID []*FuncStats
-	// conflicts is keyed by evictorID<<32 | victimID.
-	conflicts map[uint64]int64
+	// at holds the attribution state (per-variable series, per-function
+	// totals, conflict matrix) shared with the multi-config engine.
+	at        attrib
 	translate func(uint64) uint64
 	records   int64
 	ignored   int64
@@ -177,8 +172,7 @@ func New(opts Options) (*Simulator, error) {
 		syms:      syms,
 		trustIDs:  trust,
 		nosymID:   syms.Intern(NoSymbol),
-		nsets:     l1.Config().Sets(),
-		conflicts: map[uint64]int64{},
+		at:        newAttrib(syms, l1.Config().Sets()),
 		translate: opts.Translate,
 	}, nil
 }
@@ -237,8 +231,8 @@ func (s *Simulator) apply(rec *trace.Record, kind cache.Kind) {
 	fid := s.funcID(rec)
 	owner := cache.OwnerID(vid)
 	s.out = s.l1.Access(kind, addr, rec.Size, owner, s.out[:0])
-	vs := s.varAt(vid)
-	fs := s.funcAt(fid)
+	vs := s.at.varAt(vid)
+	fs := s.at.funcAt(fid)
 	for i := range s.out {
 		o := &s.out[i]
 		vs.Accesses++
@@ -252,39 +246,9 @@ func (s *Simulator) apply(rec *trace.Record, kind cache.Kind) {
 		}
 		vs.touch(o.Set, o.Hit)
 		if o.Evicted && o.EvictedOwner != cache.NoOwner && o.EvictedOwner != owner {
-			s.conflicts[uint64(uint32(vid))<<32|uint64(uint32(o.EvictedOwner))]++
+			s.at.bumpConflict(vid, o.EvictedOwner)
 		}
 	}
-}
-
-func (s *Simulator) varAt(id trace.SymID) *VarSeries {
-	i := int(id)
-	if i >= len(s.varsByID) {
-		grown := make([]*VarSeries, i+1)
-		copy(grown, s.varsByID)
-		s.varsByID = grown
-	}
-	vs := s.varsByID[i]
-	if vs == nil {
-		vs = newVarSeries(s.syms.Name(id), s.nsets)
-		s.varsByID[i] = vs
-	}
-	return vs
-}
-
-func (s *Simulator) funcAt(id trace.SymID) *FuncStats {
-	i := int(id)
-	if i >= len(s.funcsByID) {
-		grown := make([]*FuncStats, i+1)
-		copy(grown, s.funcsByID)
-		s.funcsByID = grown
-	}
-	fs := s.funcsByID[i]
-	if fs == nil {
-		fs = &FuncStats{Name: s.syms.Name(id)}
-		s.funcsByID[i] = fs
-	}
-	return fs
 }
 
 // Process simulates a record slice.
@@ -310,14 +274,31 @@ func (s *Simulator) ProcessReader(rd *trace.Reader) error {
 
 // PageAllocs returns how many 64-set series pages the simulation
 // allocated across all variables.
-func (s *Simulator) PageAllocs() int64 {
-	var n int64
-	for _, vs := range s.varsByID {
-		if vs != nil {
-			n += vs.PageAllocs
-		}
+func (s *Simulator) PageAllocs() int64 { return s.at.pageAllocs() }
+
+// MergeFrom folds other's simulation into s: cache statistics at both
+// levels, record counts, and the full attribution state (per-variable
+// series with per-set counters, per-function totals, conflict matrix),
+// matching symbols by name. With a Flush at the shard boundary this is
+// exact — simulating trace shards on cold caches and merging equals one
+// simulation of the concatenation — which is the aggregation step for
+// sharding sweeps across machines.
+func (s *Simulator) MergeFrom(other *Simulator) error {
+	if s.l1.Config().Sets() != other.l1.Config().Sets() {
+		return fmt.Errorf("dinero: MergeFrom: set counts differ (%d vs %d)",
+			s.l1.Config().Sets(), other.l1.Config().Sets())
 	}
-	return n
+	if (s.l2 == nil) != (other.l2 == nil) {
+		return fmt.Errorf("dinero: MergeFrom: L2 presence differs")
+	}
+	s.l1.MergeStats(other.l1.Stats())
+	if s.l2 != nil {
+		s.l2.MergeStats(other.l2.Stats())
+	}
+	s.records += other.records
+	s.ignored += other.ignored
+	s.at.mergeFrom(&other.at)
+	return nil
 }
 
 // PublishTelemetry adds this simulation's totals to reg: records consumed,
@@ -338,10 +319,10 @@ func (s *Simulator) PublishTelemetry(reg *telemetry.Registry) {
 // Var returns the series for one variable (nil when unseen).
 func (s *Simulator) Var(name string) *VarSeries {
 	id, ok := s.syms.Lookup(name)
-	if !ok || int(id) >= len(s.varsByID) {
+	if !ok || int(id) >= len(s.at.varsByID) {
 		return nil
 	}
-	vs := s.varsByID[id]
+	vs := s.at.varsByID[id]
 	if vs != nil {
 		vs.materialize()
 	}
@@ -350,91 +331,54 @@ func (s *Simulator) Var(name string) *VarSeries {
 
 // Vars returns all variable series sorted by descending access count, then
 // name.
-func (s *Simulator) Vars() []*VarSeries {
-	out := make([]*VarSeries, 0, len(s.varsByID))
-	for _, vs := range s.varsByID {
-		if vs == nil {
-			continue
-		}
-		vs.materialize()
-		out = append(out, vs)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Accesses != out[j].Accesses {
-			return out[i].Accesses > out[j].Accesses
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
-}
+func (s *Simulator) Vars() []*VarSeries { return s.at.vars() }
 
 // Funcs returns per-function stats sorted by descending access count.
-func (s *Simulator) Funcs() []*FuncStats {
-	out := make([]*FuncStats, 0, len(s.funcsByID))
-	for _, fs := range s.funcsByID {
-		if fs != nil {
-			out = append(out, fs)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Accesses != out[j].Accesses {
-			return out[i].Accesses > out[j].Accesses
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
-}
+func (s *Simulator) Funcs() []*FuncStats { return s.at.funcs() }
 
 // Conflicts returns the eviction matrix sorted by descending count.
-func (s *Simulator) Conflicts() []Conflict {
-	out := make([]Conflict, 0, len(s.conflicts))
-	for k, n := range s.conflicts {
-		out = append(out, Conflict{
-			Evictor: s.syms.Name(trace.SymID(k >> 32)),
-			Victim:  s.syms.Name(trace.SymID(uint32(k))),
-			Count:   n,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		if out[i].Evictor != out[j].Evictor {
-			return out[i].Evictor < out[j].Evictor
-		}
-		return out[i].Victim < out[j].Victim
-	})
-	return out
-}
+func (s *Simulator) Conflicts() []Conflict { return s.at.conflictList() }
 
 // Report renders the full text report: overall DineroIV-style statistics,
 // per-function and per-variable tables, and the conflict matrix.
 func (s *Simulator) Report() string {
+	var l2 *cache.Stats
+	if s.l2 != nil {
+		st := s.l2.Stats()
+		l2 = &st
+	}
+	return renderReport(s.l1.Config(), s.l1.Stats(), l2, &s.at)
+}
+
+// renderReport is the one renderer behind Simulator.Report and the
+// multi-config engine's per-config reports, so the two paths cannot drift:
+// exact-mode multi-config output is byte-identical because it is the same
+// code over the same numbers.
+func renderReport(cfg cache.Config, l1 cache.Stats, l2 *cache.Stats, a *attrib) string {
 	var b strings.Builder
-	cfg := s.l1.Config()
 	fmt.Fprintf(&b, "---Simulation begins.\n")
 	fmt.Fprintf(&b, "l1-dcache: %d bytes, %d-byte blocks, %d-way, %s replacement, %s, %s\n",
 		cfg.Size, cfg.BlockSize, displayAssoc(cfg), cfg.Repl, cfg.Write, cfg.Alloc)
-	b.WriteString(s.l1.Stats().Report("l1-data"))
-	if s.l2 != nil {
-		b.WriteString(s.l2.Stats().Report("l2-unified"))
+	b.WriteString(l1.Report("l1-data"))
+	if l2 != nil {
+		b.WriteString(l2.Report("l2-unified"))
 	}
 
 	fmt.Fprintf(&b, "\nPer-function statistics\n")
 	fmt.Fprintf(&b, " %-24s %10s %10s %10s %8s\n", "function", "accesses", "hits", "misses", "miss%")
-	for _, fs := range s.Funcs() {
+	for _, fs := range a.funcs() {
 		fmt.Fprintf(&b, " %-24s %10d %10d %10d %7.2f%%\n",
 			fs.Name, fs.Accesses, fs.Hits, fs.Misses, pct(fs.Misses, fs.Accesses))
 	}
 
 	fmt.Fprintf(&b, "\nPer-variable statistics\n")
 	fmt.Fprintf(&b, " %-24s %10s %10s %10s %8s\n", "variable", "accesses", "hits", "misses", "miss%")
-	for _, vs := range s.Vars() {
+	for _, vs := range a.vars() {
 		fmt.Fprintf(&b, " %-24s %10d %10d %10d %7.2f%%\n",
 			vs.Name, vs.Accesses, vs.Hits, vs.Misses, pct(vs.Misses, vs.Accesses))
 	}
 
-	if cs := s.Conflicts(); len(cs) > 0 {
+	if cs := a.conflictList(); len(cs) > 0 {
 		fmt.Fprintf(&b, "\nStructure conflicts (evictor ← victim)\n")
 		for _, c := range cs {
 			fmt.Fprintf(&b, " %-24s evicted %-24s %8d times\n", c.Evictor, c.Victim, c.Count)

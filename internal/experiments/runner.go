@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tracedst/internal/dinero"
 	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
@@ -56,6 +57,10 @@ type RunOptions struct {
 	// tasks are skipped, their stored results reused) and updated after
 	// each task completes — the resume path of cmd/experiments.
 	Checkpoint *Checkpoint
+	// Sampling selects the sweeps' approximation tier (exact when zero).
+	// Sampled results are estimates: they checkpoint under distinct keys
+	// and never mix with exact ones.
+	Sampling dinero.Sampling
 }
 
 // workerCount resolves the effective pool size.

@@ -74,7 +74,11 @@ var DefaultSweepSizes = []int64{256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 // profile.
 const simChunk = 1 << 16
 
-// missesAt simulates recs in chunks, polling ctx between chunks so a
+// missesAt is the per-config engine: one full Simulator per (size, side)
+// simulation. The sweeps no longer run on it — sweepMisses evaluates all
+// sizes in one pass — but it remains the reference and the benchmark
+// baseline the single-pass engine is gated against (BENCH_multisim.json).
+// It simulates recs in chunks, polling ctx between chunks so a
 // per-task deadline or a cancelled run stops mid-simulation instead of
 // after it. Completed simulations publish their counters (records in and
 // simulated, outcomes, page allocations) to the default registry — after
@@ -98,6 +102,53 @@ func missesAt(ctx context.Context, recs []trace.Record, cfg cache.Config) (int64
 	reg.Counter("experiments.records_in").Add(int64(len(recs)))
 	sim.PublishTelemetry(reg)
 	return sim.L1().Stats().Misses(), nil
+}
+
+// sweepMisses is the single-pass engine: every cache size of a sweep side
+// evaluated in one traversal of the record slice via dinero.MultiSim in
+// stats-only mode (the sweep consumes miss totals; attribution would be
+// pure overhead). Exact-mode results are identical to missesAt per config;
+// with sampling the returned misses are scaled estimates. Chunked like
+// missesAt so cancellation interrupts mid-trace.
+func sweepMisses(ctx context.Context, recs []trace.Record, cfgs []cache.Config, sm dinero.Sampling) ([]int64, error) {
+	ms, err := dinero.NewMulti(dinero.MultiOptions{
+		Configs: cfgs, Syms: sharedSyms, Sampling: sm, StatsOnly: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for start := 0; start < len(recs); start += simChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := start + simChunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		ms.Process(recs[start:end])
+	}
+	reg := telemetry.Default()
+	reg.Counter("experiments.records_in").Add(ms.SimulatedRecords() * int64(len(cfgs)))
+	ms.PublishTelemetry(reg)
+	out := make([]int64, len(cfgs))
+	for i := range cfgs {
+		out[i] = ms.ScaledStats(i).Misses()
+	}
+	return out, nil
+}
+
+// samplingKeySuffix distinguishes sampled checkpoint entries from exact
+// ones — an estimate must never be replayed as an exact result or vice
+// versa.
+func samplingKeySuffix(sm dinero.Sampling) string {
+	if sm.Exact() {
+		return ""
+	}
+	w := sm.Window
+	if sm.Interval > 1 && w == 0 {
+		w = dinero.DefaultSampleWindow
+	}
+	return fmt.Sprintf("@sets%d-int%d-win%d", sm.SetFactor, sm.Interval, w)
 }
 
 // sweepSpec declares one layout sweep: which traces to compare, at which
@@ -160,53 +211,68 @@ type sweepEntry struct {
 var sweepSides = [2]string{"orig", "xform"}
 
 // runSweeps simulates the given specs' sweep points on a worker pool. Each
-// task is one (spec, size, orig-or-xform) simulation against the shared
-// immutable record slices; results land in pre-assigned slots, so the
-// output is byte-identical whatever the worker count. With a checkpoint,
-// already-completed tasks are skipped and fresh completions persisted,
-// making the run crash-resumable. On error the partially-filled results
-// are returned alongside it: completed points are valid (and, when
+// task is one (spec, orig-or-xform) side: all of its cache sizes are
+// evaluated in a single pass over the shared immutable record slice by the
+// multi-config engine, so a full run touches each trace exactly twice (its
+// two sides) instead of once per size. Results land in pre-assigned slots,
+// so the output is byte-identical whatever the worker count. With a
+// checkpoint, sizes persisted by an earlier run — even one made by the
+// per-config engine, the keys are unchanged — are restored, and only the
+// missing sizes are simulated (configs are independent, so a subset pass
+// produces identical numbers). On error the partially-filled results are
+// returned alongside it: completed points are valid (and, when
 // checkpointed, already safe on disk).
 func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*SweepResult, error) {
 	out := make([]*SweepResult, len(specs))
-	type task struct{ spec, point, side int }
+	type task struct{ spec, side int }
 	var tasks []task
 	for si, sp := range specs {
 		r := &SweepResult{ID: sp.id, Title: sp.title, Geometry: sp.geometry,
 			Points: make([]SweepPoint, len(sp.sizes))}
 		for pi, size := range sp.sizes {
 			r.Points[pi].CacheBytes = size
-			tasks = append(tasks, task{si, pi, 0}, task{si, pi, 1})
 		}
+		tasks = append(tasks, task{si, 0}, task{si, 1})
 		out[si] = r
 	}
-	key := func(tk task) string {
+	suffix := samplingKeySuffix(opts.Sampling)
+	key := func(tk task, pi int) string {
 		sp := specs[tk.spec]
-		return fmt.Sprintf("sweep/%s/%d/%s", sp.id, sp.sizes[tk.point], sweepSides[tk.side])
+		return fmt.Sprintf("sweep/%s/%d/%s%s", sp.id, sp.sizes[pi], sweepSides[tk.side], suffix)
 	}
-	store := func(tk task, m int64) {
+	store := func(tk task, pi int, m int64) {
 		if tk.side == 0 {
-			out[tk.spec].Points[tk.point].MissesOrig = m
+			out[tk.spec].Points[pi].MissesOrig = m
 		} else {
-			out[tk.spec].Points[tk.point].MissesXform = m
+			out[tk.spec].Points[pi].MissesXform = m
 		}
 	}
-	name := func(ti int) string { return key(tasks[ti]) }
+	name := func(ti int) string {
+		tk := tasks[ti]
+		return fmt.Sprintf("sweep/%s/%s", specs[tk.spec].id, sweepSides[tk.side])
+	}
 	ck := checkpointCounters()
 	err := forEachPolicy(ctx, opts.Policy, opts.workerCount(), len(tasks), name, func(ctx context.Context, ti int) error {
 		tk := tasks[ti]
-		if opts.Checkpoint != nil {
-			var saved sweepEntry
-			if ok, err := opts.Checkpoint.Get(key(tk), &saved); err != nil {
-				return err
-			} else if ok {
-				ck.hits.Inc()
-				store(tk, saved.Misses)
-				return nil
-			}
-			ck.misses.Inc()
-		}
 		sp := specs[tk.spec]
+		missing := make([]int, 0, len(sp.sizes))
+		for pi := range sp.sizes {
+			if opts.Checkpoint != nil {
+				var saved sweepEntry
+				if ok, err := opts.Checkpoint.Get(key(tk, pi), &saved); err != nil {
+					return err
+				} else if ok {
+					ck.hits.Inc()
+					store(tk, pi, saved.Misses)
+					continue
+				}
+				ck.misses.Inc()
+			}
+			missing = append(missing, pi)
+		}
+		if len(missing) == 0 {
+			return nil
+		}
 		recsOf := sp.orig
 		if tk.side == 1 {
 			recsOf = sp.xform
@@ -215,14 +281,22 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 		if err != nil {
 			return err
 		}
-		m, err := missesAt(ctx, recs, sp.config(sp.sizes[tk.point]))
+		cfgs := make([]cache.Config, len(missing))
+		for i, pi := range missing {
+			cfgs[i] = sp.config(sp.sizes[pi])
+		}
+		misses, err := sweepMisses(ctx, recs, cfgs, opts.Sampling)
 		if err != nil {
 			return err
 		}
-		store(tk, m)
-		if opts.Checkpoint != nil {
-			ck.puts.Inc()
-			return opts.Checkpoint.Put(key(tk), sweepEntry{Misses: m})
+		for i, pi := range missing {
+			store(tk, pi, misses[i])
+			if opts.Checkpoint != nil {
+				ck.puts.Inc()
+				if err := opts.Checkpoint.Put(key(tk, pi), sweepEntry{Misses: misses[i]}); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})

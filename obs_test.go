@@ -121,9 +121,11 @@ func TestCLIExperimentsMetricsResume(t *testing.T) {
 		t.Errorf("records_in = %d, records_simulated = %d; want equal and nonzero",
 			m1.Counters["experiments.records_in"], m1.Counters["dinero.records_simulated"])
 	}
-	if m1.Counters["experiments.checkpoint.puts"] != m1.Counters["experiments.tasks"] {
-		t.Errorf("checkpoint.puts = %d, want %d (one per task)",
-			m1.Counters["experiments.checkpoint.puts"], m1.Counters["experiments.tasks"])
+	// Sweep tasks are side-level but checkpoint one entry per cache size
+	// (so sampled/exact runs and old checkpoints stay resumable), so puts
+	// is at least one per task and strictly more for the sweep tasks.
+	if puts, tasks := m1.Counters["experiments.checkpoint.puts"], m1.Counters["experiments.tasks"]; puts < tasks || puts == 0 {
+		t.Errorf("checkpoint.puts = %d, want >= %d (at least one per task)", puts, tasks)
 	}
 	if m1.Counters["experiments.checkpoint.hits"] != 0 {
 		t.Errorf("fresh run checkpoint.hits = %d, want 0", m1.Counters["experiments.checkpoint.hits"])

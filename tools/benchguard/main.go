@@ -30,6 +30,7 @@ func main() {
 	base := flag.String("base", "", `baseline metric unit, e.g. "noop_ns/op", or "NAME:ns/op" to pick another benchmark's ns/op`)
 	cand := flag.String("new", "", "candidate metric unit, same syntax as -base")
 	maxPct := flag.Float64("max-pct", 2, "maximum allowed candidate overhead over baseline, in percent")
+	minSpeedup := flag.Float64("min-speedup", 0, "require base/new >= this ratio instead of the overhead check (e.g. 3 = candidate at least 3x faster than baseline)")
 	flag.Parse()
 	if *base == "" || *cand == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: usage: go test -bench ... | benchguard -base METRIC -new METRIC [-bench NAME] [-max-pct N]")
@@ -50,6 +51,17 @@ func main() {
 	baseNS, candNS := baseVal[*base], baseVal[*cand]
 	if baseNS == 0 || candNS == 0 {
 		fatal(fmt.Errorf("missing metrics (base %q: %v, new %q: %v)", *base, baseNS, *cand, candNS))
+	}
+	if *minSpeedup > 0 {
+		speedup := baseNS / candNS
+		fmt.Printf("benchguard: %s %.0f, %s %.0f: speedup %.2fx (floor %.2fx)\n",
+			*base, baseNS, *cand, candNS, speedup, *minSpeedup)
+		if speedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s is only %.2fx faster than %s (need %.2fx)\n",
+				*cand, speedup, *base, *minSpeedup)
+			os.Exit(1)
+		}
+		return
 	}
 	overhead := 100 * (candNS - baseNS) / baseNS
 	fmt.Printf("benchguard: %s %.0f, %s %.0f: overhead %+.2f%% (limit %.2f%%)\n",

@@ -226,6 +226,18 @@ func checkInvariants(v *validator, doc any, lossless bool, require []string) {
 			v.errorf("trace.decode.records %d != text %d + binary %d", decoded, text, binary)
 		}
 	}
+	// Single-pass multi-config runs: the shared front end feeds every
+	// configuration the same simulated-record stream, so the per-run
+	// product simulated-records × configs must equal what the configs
+	// actually consumed.
+	if cfgRecs, ok := get("multisim.config_records"); ok {
+		if n, _ := get("multisim.configs"); n == 0 {
+			v.errorf("multisim.config_records present but multisim.configs is zero")
+		}
+		if perCfg, _ := get("multisim.per_config_records"); cfgRecs != perCfg {
+			v.errorf("multisim.config_records %d != multisim.per_config_records %d", cfgRecs, perCfg)
+		}
+	}
 	if !lossless {
 		return
 	}
