@@ -26,6 +26,7 @@ import (
 	"tracedst/internal/cliutil"
 	"tracedst/internal/dinero"
 	"tracedst/internal/pagemap"
+	"tracedst/internal/trace"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 	sampleSets := fs.Int("sample-sets", 0, "approximate: simulate every Nth cache set, scale stats (power of two, 0/1 = exact)")
 	sampleInterval := fs.Int("sample-interval", 0, "approximate: simulate every Kth window of records, scale stats (0/1 = exact)")
 	sampleWindow := fs.Int("sample-window", 0, "records per -sample-interval window (0 = default)")
+	stream := fs.Bool("stream", false, "stream the trace batch-by-batch in constant memory instead of materializing it")
+	shards := fs.Int("shards", 0, "sharded streaming over a binary .glb file: N workers simulate disjoint block ranges and merge (0 = off, -1 = one per CPU; implies -stream semantics)")
 	phys := fs.String("phys", "off", "physical indexing: off | seq | shuffled (4 KiB pages)")
 	physSeed := fs.Uint64("phys-seed", 0, "seed for the shuffled frame permutation")
 	tf := cliutil.NewTraceFlags(fs, "dinero")
@@ -83,24 +86,69 @@ func main() {
 	}
 	sampling := dinero.Sampling{SetFactor: *sampleSets, Interval: *sampleInterval, Window: *sampleWindow}
 	if len(cfgSpecs) > 0 || *configsFile != "" || !sampling.Exact() {
+		if *shards != 0 {
+			obs.Fatal(fmt.Errorf("-shards needs a single exact config"))
+		}
 		runMulti(fs.Arg(0), opts, cfgSpecs, *configsFile, sampling, tf,
-			*plot || *csv != "" || *gnuplot != "")
+			*plot || *csv != "" || *gnuplot != "", *stream)
 		return
 	}
-	sim, err := dinero.New(opts)
-	if err != nil {
-		obs.Fatal(err)
+	var sim *dinero.Simulator
+	switch {
+	case *shards != 0:
+		sp := obs.Reg.StartSpan("dinero/simulate-sharded")
+		tr, err := trace.OpenIndexed(fs.Arg(0))
+		if err != nil {
+			obs.Fatal(err)
+		}
+		res, err := dinero.SimulateSharded(tr, opts, *shards, tf.Options())
+		if err != nil {
+			tr.Close()
+			obs.Fatal(err)
+		}
+		sim = res.Sim
+		cliutil.PublishIndexedDecode(tr, sim.Records())
+		if err := tr.Close(); err != nil {
+			obs.Fatal(err)
+		}
+		sp.End()
+		res.PublishShardTelemetry(obs.Reg)
+	case *stream:
+		sim, err = dinero.New(opts)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		sp := obs.Reg.StartSpan("dinero/simulate-stream")
+		ts, err := cliutil.OpenTraceSource(fs.Arg(0), tf.Options())
+		if err != nil {
+			obs.Fatal(err)
+		}
+		serr := sim.ProcessSource(ts)
+		cerr := ts.Close()
+		sp.End()
+		if serr != nil {
+			obs.Fatal(serr)
+		}
+		if cerr != nil {
+			obs.Fatal(cerr)
+		}
+		sim.PublishTelemetry(obs.Reg)
+	default:
+		sim, err = dinero.New(opts)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		sp := obs.Reg.StartSpan("dinero/load")
+		_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
+		sp.End()
+		if err != nil {
+			obs.Fatal(err)
+		}
+		sp = obs.Reg.StartSpan("dinero/simulate")
+		sim.Process(recs)
+		sp.End()
+		sim.PublishTelemetry(obs.Reg)
 	}
-	sp := obs.Reg.StartSpan("dinero/load")
-	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
-	sp.End()
-	if err != nil {
-		obs.Fatal(err)
-	}
-	sp = obs.Reg.StartSpan("dinero/simulate")
-	sim.Process(recs)
-	sp.End()
-	sim.PublishTelemetry(obs.Reg)
 	fmt.Print(sim.Report())
 
 	p := analysis.FromSimulator("per-set cache behaviour", sim, *noSym)
@@ -132,7 +180,7 @@ var obs *cliutil.Obs
 // flags as base, overridden per -config/-configs spec) simulates from that
 // shared stream. Reports print back-to-back in config order and are
 // byte-identical to independent runs when sampling is exact.
-func runMulti(path string, opts dinero.Options, specs []string, specFile string, sampling dinero.Sampling, tf *cliutil.TraceFlags, wantsPlot bool) {
+func runMulti(path string, opts dinero.Options, specs []string, specFile string, sampling dinero.Sampling, tf *cliutil.TraceFlags, wantsPlot, stream bool) {
 	if wantsPlot {
 		obs.Fatal(fmt.Errorf("-plot/-csv/-gnuplot need a single exact config"))
 	}
@@ -163,15 +211,32 @@ func runMulti(path string, opts dinero.Options, specs []string, specFile string,
 	if err != nil {
 		obs.Fatal(err)
 	}
-	sp := obs.Reg.StartSpan("dinero/load")
-	_, _, recs, err := cliutil.LoadTraceOpts(path, tf.Options())
-	sp.End()
-	if err != nil {
-		obs.Fatal(err)
+	if stream {
+		sp := obs.Reg.StartSpan("dinero/simulate-stream")
+		ts, err := cliutil.OpenTraceSource(path, tf.Options())
+		if err != nil {
+			obs.Fatal(err)
+		}
+		serr := ms.ProcessSource(ts)
+		cerr := ts.Close()
+		sp.End()
+		if serr != nil {
+			obs.Fatal(serr)
+		}
+		if cerr != nil {
+			obs.Fatal(cerr)
+		}
+	} else {
+		sp := obs.Reg.StartSpan("dinero/load")
+		_, _, recs, err := cliutil.LoadTraceOpts(path, tf.Options())
+		sp.End()
+		if err != nil {
+			obs.Fatal(err)
+		}
+		sp = obs.Reg.StartSpan("dinero/simulate")
+		ms.Process(recs)
+		sp.End()
 	}
-	sp = obs.Reg.StartSpan("dinero/simulate")
-	ms.Process(recs)
-	sp.End()
 	ms.PublishTelemetry(obs.Reg)
 	for i := 0; i < ms.NumConfigs(); i++ {
 		cfg := ms.Config(i)

@@ -17,6 +17,7 @@ import (
 
 	"tracedst/internal/cliutil"
 	"tracedst/internal/rules"
+	"tracedst/internal/trace"
 	"tracedst/internal/xform"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	out := fs.String("o", "transformed_trace.out", "output trace file (- for stdout)")
 	shadowAlign := fs.Int64("shadow-align", 0, "override base alignment of relocated structures (0 = automatic)")
 	quiet := fs.Bool("q", false, "suppress the summary line")
+	index := fs.Bool("glb-index", false, "append the block-index footer to binary output (seekable/shardable without a scan)")
 	tf := cliutil.NewTraceFlags(fs, "dsxform")
 	tf.AddFormatFlag(fs)
 	of := cliutil.NewObsFlags(fs, "dsxform")
@@ -70,27 +72,30 @@ func main() {
 	if err != nil {
 		obs.Fatal(err)
 	}
-	sp := obs.Reg.StartSpan("dsxform/load")
-	h, hasHdr, recs, inFmt, err := cliutil.LoadTraceFormat(fs.Arg(0), tf.Options())
+	// Stream decode → transform → encode, holding one batch live at a time:
+	// the pipeline rewrites traces larger than RAM in constant memory. A
+	// headerless input stays headerless, so byte-level round trips through
+	// tracediff keep working; the container format mirrors the input unless
+	// -format overrides it.
+	sp := obs.Reg.StartSpan("dsxform/transform")
+	ts, err := cliutil.OpenTraceSource(fs.Arg(0), tf.Options())
+	if err != nil {
+		obs.Fatal(err)
+	}
+	outFmt, err := tf.OutputFormat(ts.Format())
+	if err != nil {
+		ts.Close()
+		obs.Fatal(err)
+	}
+	werr := cliutil.WriteTraceStream(*out, cliutil.WriterOptions{Format: outFmt, Index: *index},
+		func(w trace.RecordWriter) error { return eng.RunSource(ts, w) })
+	cerr := ts.Close()
 	sp.End()
-	if err != nil {
-		obs.Fatal(err)
+	if werr != nil {
+		obs.Fatal(werr)
 	}
-	outFmt, err := tf.OutputFormat(inFmt)
-	if err != nil {
-		obs.Fatal(err)
-	}
-	sp = obs.Reg.StartSpan("dsxform/transform")
-	outRecs, err := eng.TransformAll(recs)
-	sp.End()
-	if err != nil {
-		obs.Fatal(err)
-	}
-	// A headerless input stays headerless, so byte-level round trips
-	// through tracediff keep working; the container format mirrors the
-	// input unless -format overrides it.
-	if err := cliutil.WriteTraceFormat(*out, h, hasHdr, outRecs, outFmt); err != nil {
-		obs.Fatal(err)
+	if cerr != nil {
+		obs.Fatal(cerr)
 	}
 	if !*quiet {
 		st := eng.Stats()

@@ -58,6 +58,7 @@ func main() {
 	sampleSets := fs.Int("sample-sets", 0, "approximate sweeps: simulate every Nth cache set (power of two, 0/1 = exact)")
 	sampleInterval := fs.Int("sample-interval", 0, "approximate sweeps: simulate every Kth window of records (0/1 = exact)")
 	sampleWindow := fs.Int("sample-window", 0, "records per -sample-interval window (0 = default)")
+	shards := fs.Int("shards", 0, "sharded sweeps: split each sweep side into N cold shards merged via stats (equals flush-at-boundary serial run; 0/1 = off)")
 	of := cliutil.NewObsFlags(fs, "experiments")
 	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
@@ -92,10 +93,15 @@ func main() {
 			Interval:  *sampleInterval,
 			Window:    *sampleWindow,
 		},
+		Shards: *shards,
 	}
 	if !opts.Sampling.Exact() {
 		obs.Log.Info("sweeps run sampled: results are scaled estimates",
 			"sample_sets", *sampleSets, "sample_interval", *sampleInterval)
+	}
+	if opts.Shards > 1 {
+		obs.Log.Info("sweeps run sharded: results equal a flush-at-boundary serial run",
+			"shards", opts.Shards)
 	}
 	dir := *ckptDir
 	if *resumeDir != "" {

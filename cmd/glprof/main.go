@@ -17,6 +17,7 @@ import (
 	"tracedst/internal/analysis"
 	"tracedst/internal/cliutil"
 	"tracedst/internal/profile"
+	"tracedst/internal/trace"
 )
 
 func main() {
@@ -40,12 +41,24 @@ func main() {
 		obs.Log.Error("need exactly one trace file argument (- for stdin)")
 		obs.Exit(2)
 	}
-	_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
+	// The base profile folds record-by-record, so without -reuse/-timeline
+	// (which genuinely need the whole trace for distance/window analysis)
+	// the trace streams through in constant memory.
+	var recs []trace.Record
+	materialize := *reuse || *timeline
+	sp := obs.Reg.StartSpan("glprof/profile")
+	pr := profile.NewProfiler()
+	_, err = cliutil.StreamTrace(fs.Arg(0), tf.Options(), func(batch []trace.Record) error {
+		pr.AddBatch(batch)
+		if materialize {
+			recs = append(recs, batch...)
+		}
+		return nil
+	})
 	if err != nil {
 		obs.Fatal(err)
 	}
-	sp := obs.Reg.StartSpan("glprof/profile")
-	fmt.Print(profile.New(recs).Report())
+	fmt.Print(pr.Finish().Report())
 	sp.End()
 
 	if *reuse {

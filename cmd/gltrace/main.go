@@ -34,6 +34,7 @@ func main() {
 	onlyVar := fs.String("only-var", "", "keep only records of this root variable")
 	onlyOps := fs.String("only-ops", "", "keep only these access types, e.g. LS")
 	format := fs.String("format", "gleipnir", "output format: gleipnir (alias text) | binary (block-framed .glb) | din (classic DineroIV input)")
+	index := fs.Bool("glb-index", false, "append the block-index footer to binary output (seekable/shardable without a scan)")
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	of := cliutil.NewObsFlags(fs, "gltrace")
@@ -96,7 +97,19 @@ func main() {
 			obs.Fatal(err)
 		}
 	case "binary", "glb":
-		if err := cliutil.WriteTraceFormat(*out, res.Header, true, records, trace.FormatBinary); err != nil {
+		err := cliutil.WriteTraceStream(*out, cliutil.WriterOptions{Format: trace.FormatBinary, Index: *index},
+			func(w trace.RecordWriter) error {
+				if err := w.WriteHeader(res.Header); err != nil {
+					return err
+				}
+				for i := range records {
+					if err := w.Write(&records[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
 			obs.Fatal(err)
 		}
 	case "din":

@@ -144,6 +144,23 @@ func NewMultiSim(cfgs []Config, sampleSets int) (*MultiSim, error) {
 	return m, nil
 }
 
+// Flush invalidates every line of every configuration, leaving statistics
+// in place — the multi-config analogue of Cache.Flush. Like Cache.Flush it
+// keeps the clock and random stream running, so a flushed simulator makes
+// the same decisions as a cold one for every stamp-comparison policy (LRU,
+// FIFO, round-robin); ReplRandom's stream position survives the flush,
+// matching Cache.
+func (m *MultiSim) Flush() {
+	for ci := range m.per {
+		p := &m.per[ci]
+		clear(p.flags)
+		clear(p.hint)
+		if p.rr != nil {
+			clear(p.rr)
+		}
+	}
+}
+
 // NumConfigs returns how many configurations the simulator evaluates.
 func (m *MultiSim) NumConfigs() int { return len(m.per) }
 

@@ -115,9 +115,14 @@ func ratio(num, den int64) float64 {
 
 // Scaled returns a copy of s with every total multiplied by factor and
 // rounded to the nearest count — the estimate a sampled simulation reports
-// for the full trace. Per-set counters are scaled too; under set sampling
-// the unsampled sets stay zero (scaling cannot invent sets that were never
-// simulated), so per-set consumers should read only the sampled indices.
+// for the full trace. Totals and misses are rounded independently (misses
+// are the primary signal sampling consumers read); hits are derived as
+// total − misses so the structural invariants Reads == ReadHits +
+// ReadMisses and Writes == WriteHits + WriteMisses hold exactly — per-side
+// rounding could otherwise drift them apart by ±1. Per-set counters are
+// scaled too; under set sampling the unsampled sets stay zero (scaling
+// cannot invent sets that were never simulated), so per-set consumers
+// should read only the sampled indices.
 func (s Stats) Scaled(factor float64) Stats {
 	if factor == 1 {
 		out := s
@@ -125,13 +130,17 @@ func (s Stats) Scaled(factor float64) Stats {
 		return out
 	}
 	scale := func(n int64) int64 { return int64(float64(n)*factor + 0.5) }
+	// splitSide rounds the side's total and miss count, clamps misses into
+	// [0, total] and derives hits from the difference.
+	splitSide := func(total, misses int64) (t, h, m int64) {
+		t = scale(total)
+		m = scale(misses)
+		if m > t {
+			m = t
+		}
+		return t, t - m, m
+	}
 	out := Stats{
-		Reads:         scale(s.Reads),
-		ReadHits:      scale(s.ReadHits),
-		ReadMisses:    scale(s.ReadMisses),
-		Writes:        scale(s.Writes),
-		WriteHits:     scale(s.WriteHits),
-		WriteMisses:   scale(s.WriteMisses),
 		Evictions:     scale(s.Evictions),
 		Writebacks:    scale(s.Writebacks),
 		Prefetches:    scale(s.Prefetches),
@@ -141,6 +150,8 @@ func (s Stats) Scaled(factor float64) Stats {
 		Conflict:      scale(s.Conflict),
 		PerSet:        make([]SetStats, len(s.PerSet)),
 	}
+	out.Reads, out.ReadHits, out.ReadMisses = splitSide(s.Reads, s.ReadMisses)
+	out.Writes, out.WriteHits, out.WriteMisses = splitSide(s.Writes, s.WriteMisses)
 	for i, ps := range s.PerSet {
 		out.PerSet[i] = SetStats{Hits: scale(ps.Hits), Misses: scale(ps.Misses)}
 	}

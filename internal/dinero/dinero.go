@@ -272,6 +272,34 @@ func (s *Simulator) ProcessReader(rd *trace.Reader) error {
 	}
 }
 
+// ProcessSource streams record batches from src until EOF, holding only
+// one batch live at a time — the constant-memory ingestion path. Results
+// are identical to Process over the materialized trace.
+func (s *Simulator) ProcessSource(src trace.RecordSource) error {
+	for {
+		batch, err := src.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Process(batch)
+	}
+}
+
+// Flush invalidates every cache line at both levels, leaving statistics
+// and attribution in place. A serial run with Flush at each shard boundary
+// is the exact reference for sharded cold-cache simulation: shard
+// simulators merged with MergeFrom reproduce it to the byte (ReplRandom
+// excepted — its draw stream survives a Flush but not a shard split).
+func (s *Simulator) Flush() {
+	s.l1.Flush()
+	if s.l2 != nil {
+		s.l2.Flush()
+	}
+}
+
 // PageAllocs returns how many 64-set series pages the simulation
 // allocated across all variables.
 func (s *Simulator) PageAllocs() int64 { return s.at.pageAllocs() }

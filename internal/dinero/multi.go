@@ -178,6 +178,18 @@ func firstMultiErr(cfg cache.Config, l2 *cache.Config) error {
 	return cache.CanMulti(cfg)
 }
 
+// Flush invalidates every configuration's cache lines (kernel and
+// fallback simulators alike), leaving statistics in place — the reference
+// boundary operation for sharded simulation (see Simulator.Flush).
+func (m *MultiSim) Flush() {
+	if m.kernel != nil {
+		m.kernel.Flush()
+	}
+	for _, sub := range m.subs {
+		sub.Flush()
+	}
+}
+
 // NumConfigs returns how many configurations the simulator evaluates.
 func (m *MultiSim) NumConfigs() int { return len(m.cfgs) }
 
@@ -287,6 +299,22 @@ func (m *MultiSim) ProcessReader(rd *trace.Reader) error {
 			return err
 		}
 		m.Feed(&rec)
+	}
+}
+
+// ProcessSource streams record batches from src until EOF, holding only
+// one batch live at a time. Results are identical to Process over the
+// materialized trace.
+func (m *MultiSim) ProcessSource(src trace.RecordSource) error {
+	for {
+		batch, err := src.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		m.Process(batch)
 	}
 }
 

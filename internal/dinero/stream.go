@@ -1,0 +1,92 @@
+// Sharded streaming simulation: N workers simulate disjoint block ranges
+// of an indexed binary trace straight out of the mmap, each on its own
+// cold Simulator, and the shard results reduce with MergeFrom. The result
+// equals a serial streaming run with a cache Flush at every shard boundary
+// — exactly, to the byte of the rendered report (ReplRandom excepted: its
+// draw stream survives a Flush but cannot survive a shard split).
+package dinero
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tracedst/internal/telemetry"
+	"tracedst/internal/trace"
+)
+
+// ShardedResult is the merged outcome of a sharded streaming simulation.
+type ShardedResult struct {
+	// Sim holds the merged statistics and attribution; its Report is the
+	// flush-at-boundary reference output.
+	Sim *Simulator
+	// Shards is how many shards actually ran (capped by the block count).
+	Shards int
+	// Boundaries are the record indices where shards split — the Flush
+	// points a serial reference run must use to reproduce Sim exactly.
+	Boundaries []int64
+}
+
+// SimulateSharded streams tr through min(shards, blocks) workers over
+// disjoint block ranges and merges the shard simulators. opts.Syms must be
+// nil (each shard interns privately; MergeFrom matches by name — a shared
+// table is not goroutine-safe). dec carries the lenient/strict decode
+// semantics applied per shard.
+func SimulateSharded(tr *trace.IndexedTrace, opts Options, shards int, dec trace.DecodeOptions) (*ShardedResult, error) {
+	if opts.Syms != nil {
+		return nil, fmt.Errorf("dinero: SimulateSharded: shared Syms table is not supported (shards intern privately)")
+	}
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	ranges := tr.ShardRanges(shards)
+	if len(ranges) == 0 {
+		// Empty trace: nothing to shard, return one cold simulator.
+		sim, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedResult{Sim: sim, Shards: 0}, nil
+	}
+
+	sims := make([]*Simulator, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		sim, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = sim
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			errs[i] = sims[i].ProcessSource(tr.Source(lo, hi, dec))
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dinero: shard %d (blocks %d-%d): %w", i, ranges[i][0], ranges[i][1], err)
+		}
+	}
+
+	res := &ShardedResult{Sim: sims[0], Shards: len(ranges)}
+	var cum int64
+	for i := 1; i < len(sims); i++ {
+		cum += sims[i-1].Records()
+		res.Boundaries = append(res.Boundaries, cum)
+		if err := res.Sim.MergeFrom(sims[i]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// PublishShardTelemetry records a sharded run's shape next to the merged
+// simulator's own counters.
+func (r *ShardedResult) PublishShardTelemetry(reg *telemetry.Registry) {
+	reg.Counter("dinero.sharded_runs").Inc()
+	reg.Counter("dinero.shards").Add(int64(r.Shards))
+	r.Sim.PublishTelemetry(reg)
+}

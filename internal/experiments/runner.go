@@ -61,6 +61,13 @@ type RunOptions struct {
 	// Sampled results are estimates: they checkpoint under distinct keys
 	// and never mix with exact ones.
 	Sampling dinero.Sampling
+	// Shards > 1 splits each sweep side's record stream into that many
+	// contiguous shards simulated in parallel on cold caches and merges
+	// the per-config statistics with cache.Stats.Merge. The result equals
+	// a serial run that flushes the cache at every shard boundary, so it
+	// checkpoints under distinct keys and never mixes with unsharded
+	// results. Incompatible with non-exact Sampling.
+	Shards int
 }
 
 // workerCount resolves the effective pool size.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
@@ -137,6 +138,74 @@ func sweepMisses(ctx context.Context, recs []trace.Record, cfgs []cache.Config, 
 	return out, nil
 }
 
+// sweepMissesSharded is the sharded single-pass engine: the record slice
+// splits into shards contiguous ranges, each range simulates on its own
+// cold MultiSim concurrently, and per-config statistics reduce with
+// cache.Stats.Merge. The merged misses equal a serial sweepMisses run that
+// calls Flush at every shard boundary (see dinero.Simulator.Flush for why
+// — replacement decisions compare stamps, which survive the merge). Exact
+// sampling only; shard simulators intern privately because the shared
+// table is not goroutine-safe and stats-only sweeps never read it.
+func sweepMissesSharded(ctx context.Context, recs []trace.Record, cfgs []cache.Config, shards int) ([]int64, error) {
+	if shards > len(recs) {
+		shards = len(recs)
+	}
+	if shards < 2 || len(recs) == 0 {
+		return sweepMisses(ctx, recs, cfgs, dinero.Sampling{})
+	}
+	sims := make([]*dinero.MultiSim, shards)
+	for i := range sims {
+		ms, err := dinero.NewMulti(dinero.MultiOptions{Configs: cfgs, StatsOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = ms
+	}
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		lo := len(recs) * i / shards
+		hi := len(recs) * (i + 1) / shards
+		wg.Add(1)
+		go func(i int, part []trace.Record) {
+			defer wg.Done()
+			for start := 0; start < len(part); start += simChunk {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				end := start + simChunk
+				if end > len(part) {
+					end = len(part)
+				}
+				sims[i].Process(part[start:end])
+			}
+		}(i, recs[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	reg := telemetry.Default()
+	out := make([]int64, len(cfgs))
+	for ci := range cfgs {
+		merged := sims[0].Stats(ci)
+		for _, ms := range sims[1:] {
+			merged.Merge(ms.Stats(ci))
+		}
+		out[ci] = merged.Misses()
+	}
+	for _, ms := range sims {
+		reg.Counter("experiments.records_in").Add(ms.SimulatedRecords() * int64(len(cfgs)))
+		ms.PublishTelemetry(reg)
+	}
+	reg.Counter("experiments.sharded_sweeps").Inc()
+	reg.Counter("experiments.sweep_shards").Add(int64(shards))
+	return out, nil
+}
+
 // samplingKeySuffix distinguishes sampled checkpoint entries from exact
 // ones — an estimate must never be replayed as an exact result or vice
 // versa.
@@ -149,6 +218,18 @@ func samplingKeySuffix(sm dinero.Sampling) string {
 		w = dinero.DefaultSampleWindow
 	}
 	return fmt.Sprintf("@sets%d-int%d-win%d", sm.SetFactor, sm.Interval, w)
+}
+
+// runKeySuffix is the full checkpoint-key qualifier for a run's result
+// tier: sampling parameters and/or shard count. Sharded results equal a
+// flush-at-boundary serial run, not a plain one, so they must not replay
+// into (or from) unsharded entries.
+func runKeySuffix(opts RunOptions) string {
+	s := samplingKeySuffix(opts.Sampling)
+	if opts.Shards > 1 {
+		s += fmt.Sprintf("@shards%d", opts.Shards)
+	}
+	return s
 }
 
 // sweepSpec declares one layout sweep: which traces to compare, at which
@@ -223,6 +304,9 @@ var sweepSides = [2]string{"orig", "xform"}
 // returned alongside it: completed points are valid (and, when
 // checkpointed, already safe on disk).
 func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*SweepResult, error) {
+	if opts.Shards > 1 && !opts.Sampling.Exact() {
+		return nil, fmt.Errorf("experiments: sharding and sampling cannot combine (interval windows depend on global record position)")
+	}
 	out := make([]*SweepResult, len(specs))
 	type task struct{ spec, side int }
 	var tasks []task
@@ -235,7 +319,7 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 		tasks = append(tasks, task{si, 0}, task{si, 1})
 		out[si] = r
 	}
-	suffix := samplingKeySuffix(opts.Sampling)
+	suffix := runKeySuffix(opts)
 	key := func(tk task, pi int) string {
 		sp := specs[tk.spec]
 		return fmt.Sprintf("sweep/%s/%d/%s%s", sp.id, sp.sizes[pi], sweepSides[tk.side], suffix)
@@ -285,7 +369,12 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 		for i, pi := range missing {
 			cfgs[i] = sp.config(sp.sizes[pi])
 		}
-		misses, err := sweepMisses(ctx, recs, cfgs, opts.Sampling)
+		var misses []int64
+		if opts.Shards > 1 {
+			misses, err = sweepMissesSharded(ctx, recs, cfgs, opts.Shards)
+		} else {
+			misses, err = sweepMisses(ctx, recs, cfgs, opts.Sampling)
+		}
 		if err != nil {
 			return err
 		}

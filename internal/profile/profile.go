@@ -61,59 +61,85 @@ type Profile struct {
 	blocks map[uint64]bool
 }
 
-// New builds a profile from records.
-func New(recs []trace.Record) *Profile {
-	p := &Profile{
+// Profiler accumulates a Profile incrementally, one record at a time, so
+// streaming pipelines can profile traces larger than RAM (live state is the
+// footprint maps, not the trace). Feed records with Add, then call Finish.
+type Profiler struct {
+	p        *Profile
+	prevFunc string
+	done     bool
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{p: &Profile{
 		Funcs:       map[string]*FuncProfile{},
 		Vars:        map[string]*VarProfile{},
 		Transitions: map[[2]string]int64{},
 		blocks:      map[uint64]bool{},
-	}
-	prevFunc := ""
-	for i := range recs {
-		r := &recs[i]
-		p.Records++
+	}}
+}
 
-		fp := p.Funcs[r.Func]
-		if fp == nil {
-			fp = &FuncProfile{Name: r.Func, blocks: map[uint64]bool{}}
-			p.Funcs[r.Func] = fp
+// Add folds one record into the profile.
+func (pr *Profiler) Add(r *trace.Record) {
+	p := pr.p
+	p.Records++
+
+	fp := p.Funcs[r.Func]
+	if fp == nil {
+		fp = &FuncProfile{Name: r.Func, blocks: map[uint64]bool{}}
+		p.Funcs[r.Func] = fp
+	}
+	fp.Accesses++
+	switch r.Op {
+	case trace.Load:
+		fp.Reads++
+	case trace.Store:
+		fp.Writes++
+	case trace.Modify:
+		fp.Modifies++
+	}
+	fp.Bytes += r.Size
+	for b := r.Addr / FootprintBlock; b <= (r.End()-1)/FootprintBlock; b++ {
+		fp.blocks[b] = true
+		p.blocks[b] = true
+	}
+
+	if r.HasSym {
+		vp := p.Vars[r.Var.Root]
+		if vp == nil {
+			vp = &VarProfile{Name: r.Var.Root, blocks: map[uint64]bool{}, funcs: map[string]bool{}}
+			p.Vars[r.Var.Root] = vp
 		}
-		fp.Accesses++
-		switch r.Op {
-		case trace.Load:
-			fp.Reads++
-		case trace.Store:
-			fp.Writes++
-		case trace.Modify:
-			fp.Modifies++
-		}
-		fp.Bytes += r.Size
+		vp.Accesses++
+		vp.Bytes += r.Size
+		vp.funcs[r.Func] = true
 		for b := r.Addr / FootprintBlock; b <= (r.End()-1)/FootprintBlock; b++ {
-			fp.blocks[b] = true
-			p.blocks[b] = true
+			vp.blocks[b] = true
 		}
-
-		if r.HasSym {
-			vp := p.Vars[r.Var.Root]
-			if vp == nil {
-				vp = &VarProfile{Name: r.Var.Root, blocks: map[uint64]bool{}, funcs: map[string]bool{}}
-				p.Vars[r.Var.Root] = vp
-			}
-			vp.Accesses++
-			vp.Bytes += r.Size
-			vp.funcs[r.Func] = true
-			for b := r.Addr / FootprintBlock; b <= (r.End()-1)/FootprintBlock; b++ {
-				vp.blocks[b] = true
-			}
-		}
-
-		if prevFunc != "" && prevFunc != r.Func {
-			p.Transitions[[2]string{prevFunc, r.Func}]++
-		}
-		prevFunc = r.Func
 	}
-	// Finalise derived fields.
+
+	if pr.prevFunc != "" && pr.prevFunc != r.Func {
+		p.Transitions[[2]string{pr.prevFunc, r.Func}]++
+	}
+	pr.prevFunc = r.Func
+}
+
+// AddBatch folds a record batch into the profile.
+func (pr *Profiler) AddBatch(recs []trace.Record) {
+	for i := range recs {
+		pr.Add(&recs[i])
+	}
+}
+
+// Finish computes the derived fields and returns the profile. The profiler
+// must not be used after Finish.
+func (pr *Profiler) Finish() *Profile {
+	if pr.done {
+		return pr.p
+	}
+	pr.done = true
+	p := pr.p
 	for _, fp := range p.Funcs {
 		fp.Footprint = len(fp.blocks)
 	}
@@ -126,6 +152,13 @@ func New(recs []trace.Record) *Profile {
 	}
 	p.WorkingSet = len(p.blocks)
 	return p
+}
+
+// New builds a profile from a materialized record slice.
+func New(recs []trace.Record) *Profile {
+	pr := NewProfiler()
+	pr.AddBatch(recs)
+	return pr.Finish()
 }
 
 // TopFuncs returns function profiles by descending access count.

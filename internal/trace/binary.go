@@ -82,6 +82,14 @@ type BinaryWriter struct {
 	prevAddr uint64
 	scratch  []byte // variable-expression rendering
 	payload  []byte // assembled block payload
+
+	// Block-index footer state: off tracks the file offset of the next
+	// byte, idx collects per-block frame offsets and record counts, and
+	// indexed/wroteIdx gate the footer block Flush appends.
+	off      int64
+	idx      BlockIndex
+	indexed  bool
+	wroteIdx bool
 }
 
 // NewBinaryWriter returns a BinaryWriter over w.
@@ -100,6 +108,12 @@ func (wr *BinaryWriter) SetBlockRecords(n int) {
 		wr.blockRecs = n
 	}
 }
+
+// EnableIndex makes Flush append the block-index footer (see footer.go):
+// per-block file offsets and record counts that let readers seek and shard
+// without scanning. The footer travels as a record-free block, so readers
+// that predate it skip it transparently.
+func (wr *BinaryWriter) EnableIndex() { wr.indexed = true }
 
 // WriteHeader records the START header; it must precede any record.
 func (wr *BinaryWriter) WriteHeader(h Header) error {
@@ -130,7 +144,9 @@ func (wr *BinaryWriter) writePreamble() error {
 	if err := wr.bw.WriteByte(flags); err != nil {
 		return err
 	}
-	_, err := wr.bw.Write(binary.AppendVarint(wr.scratch[:0], int64(wr.header.PID)))
+	pid := binary.AppendVarint(wr.scratch[:0], int64(wr.header.PID))
+	wr.off = int64(len(binaryMagic) + 1 + len(pid))
+	_, err := wr.bw.Write(pid)
 	return err
 }
 
@@ -200,6 +216,10 @@ func (wr *BinaryWriter) flushBlock() error {
 	hdr = binary.AppendUvarint(hdr, uint64(wr.recCount))
 	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(p))
 	wr.scratch = hdr
+	wr.idx.Offsets = append(wr.idx.Offsets, wr.off)
+	wr.idx.Counts = append(wr.idx.Counts, int64(wr.recCount))
+	wr.idx.Records += int64(wr.recCount)
+	wr.off += int64(len(hdr) + len(p))
 	if _, err := wr.bw.Write(hdr); err != nil {
 		return err
 	}
@@ -215,8 +235,9 @@ func (wr *BinaryWriter) flushBlock() error {
 	return nil
 }
 
-// Flush writes the preamble (for empty traces), the final partial block and
-// any buffered output.
+// Flush writes the preamble (for empty traces), the final partial block,
+// the block-index footer when EnableIndex was called, and any buffered
+// output.
 func (wr *BinaryWriter) Flush() error {
 	if err := wr.writePreamble(); err != nil {
 		return err
@@ -224,7 +245,35 @@ func (wr *BinaryWriter) Flush() error {
 	if err := wr.flushBlock(); err != nil {
 		return err
 	}
+	if wr.indexed && !wr.wroteIdx {
+		wr.wroteIdx = true
+		if err := wr.writeFooterBlock(); err != nil {
+			return err
+		}
+	}
 	return wr.bw.Flush()
+}
+
+// writeFooterBlock frames the encoded index as a record-free block whose
+// single string-table entry is the footer bytes. Old readers CRC-check and
+// skip it; the trailer magic at the end of the file lets new readers find
+// it without a scan.
+func (wr *BinaryWriter) writeFooterBlock() error {
+	body := appendFooter(nil, &wr.idx)
+	p := binary.AppendUvarint(wr.payload[:0], 1)
+	p = binary.AppendUvarint(p, uint64(len(body)))
+	p = append(p, body...)
+	wr.payload = p
+	hdr := binary.AppendUvarint(wr.scratch[:0], uint64(len(p)))
+	hdr = binary.AppendUvarint(hdr, 0)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(p))
+	wr.scratch = hdr
+	wr.off += int64(len(hdr) + len(p))
+	if _, err := wr.bw.Write(hdr); err != nil {
+		return err
+	}
+	_, err := wr.bw.Write(p)
+	return err
 }
 
 // Records returns the number of records successfully written so far.
@@ -374,6 +423,11 @@ func (rd *BinaryReader) loadBlock() error {
 				return lerr
 			}
 		}
+		if recCount == 0 {
+			// Record-free blocks carry auxiliary payloads (the block-index
+			// footer); their CRC was checked, nothing to decode.
+			continue
+		}
 		if derr := rd.decodeBlock(rd.payload, int(recCount)); derr != nil {
 			if ok, lerr := rd.badBlock(derr); ok {
 				continue
@@ -501,6 +555,29 @@ func (rd *BinaryReader) Read() (Record, error) {
 	r := rd.recs[rd.next]
 	rd.next++
 	return r, nil
+}
+
+// NextBlock returns the records remaining in the current decoded block,
+// loading the next block when it is exhausted — the zero-copy batch path
+// behind NewSource. The returned slice aliases the reader's block buffer
+// and is only valid until the next NextBlock/Read/ReadBatch call. io.EOF
+// signals a clean end of stream.
+func (rd *BinaryReader) NextBlock() ([]Record, error) {
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if err := rd.ensurePre(); err != nil {
+		return nil, err
+	}
+	for rd.next >= len(rd.recs) {
+		if err := rd.loadBlock(); err != nil {
+			rd.err = err
+			return nil, err
+		}
+	}
+	recs := rd.recs[rd.next:]
+	rd.next = len(rd.recs)
+	return recs, nil
 }
 
 // ReadBatch fills dst with up to len(dst) records and returns how many were

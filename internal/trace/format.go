@@ -99,8 +99,16 @@ func OpenReader(r io.Reader, opts DecodeOptions) (RecordReader, FileFormat, erro
 	if !ok || br.Size() < BinaryMagicLen {
 		br = bufio.NewReaderSize(r, 64*1024)
 	}
+	// Peek only errors when fewer than BinaryMagicLen bytes are available
+	// (EOF, or a short read from a faltering underlying reader). A prefix
+	// that short cannot be binary — and the shortest valid text trace
+	// content fits in fewer bytes than the magic — so any short read
+	// sniffs as text. bufio clears the peeked error, so a persistent I/O
+	// failure resurfaces with line context on the first read; only an
+	// empty non-EOF failure is reported here, where text decoding could
+	// not start either.
 	prefix, err := br.Peek(BinaryMagicLen)
-	if err != nil && err != io.EOF {
+	if err != nil && err != io.EOF && len(prefix) == 0 {
 		return nil, FormatUnknown, err
 	}
 	if DetectFormat(prefix) == FormatBinary {

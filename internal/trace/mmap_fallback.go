@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the file into memory.
+// Indexed access still works, just without the constant-memory property —
+// the streaming (non-indexed) paths remain bounded everywhere.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,25 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The returned cleanup unmaps; the caller may
+// close f immediately after a successful map.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("trace: file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -7,13 +7,17 @@
 // deterministic and identical to a serial decode.
 //
 // Error semantics: the serial readers define the contract (ordered OnError
-// callbacks, line/block numbers, lenient bad-line budgets). The binary path
-// reproduces it exactly — frames are walked serially (cheap: two varints
-// plus a skip per block) and per-block damage is judged in block order
-// after the parallel decode. The text path takes the fast parallel route
-// only when every chunk parses cleanly; the moment any worker sees a bad
-// line it falls back to one serial pass over the full buffer, which
-// recreates the byte-exact strict/lenient behaviour including line numbers.
+// callbacks, line/block numbers, lenient bad-line budgets, partial-prefix
+// output on failure). The binary path reproduces it exactly — frames are
+// walked serially (cheap: two varints plus a skip per block) and per-block
+// damage is judged in block order after the parallel decode; a broken
+// frame (truncation, corrupt length fields) aborts the walk before any
+// OnError has fired and falls back to one serial pass, so error values,
+// callbacks and the partial record prefix are byte-identical to
+// BinaryReader. The text path takes the fast parallel route only when
+// every chunk parses cleanly; the moment any worker sees a bad line it
+// falls back to one serial pass over the full buffer, which recreates the
+// byte-exact strict/lenient behaviour including line numbers.
 package trace
 
 import (
@@ -30,8 +34,9 @@ import (
 // workers goroutines (<= 0 selects GOMAXPROCS). The format is sniffed from
 // the magic. Results are identical to a serial Reader/BinaryReader decode:
 // same records in the same order, same header, same error behaviour. When
-// an error is returned, any accompanying records are a best-effort partial
-// decode and may differ from the serial readers' partial output.
+// an error is returned, the accompanying records are exactly the serial
+// readers' partial output — the prefix decoded before the failure, with
+// lenient-mode skips applied in order.
 func DecodeParallel(r io.Reader, opts DecodeOptions, workers int) (Header, bool, []Record, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -73,56 +78,56 @@ type binaryBlock struct {
 	payload  []byte
 	recCount int
 	crc      uint32
+	// aux marks a record-free block (auxiliary payload such as the
+	// block-index footer): CRC-checked but never decoded.
+	aux bool
 	// decode results
 	recs []Record
 	err  error
 }
 
 // decodeBinaryBytes walks the frames serially, decodes payloads in
-// parallel, and merges in order with serial-identical damage handling.
+// parallel, and merges in order with serial-identical damage handling. Any
+// frame-level damage (truncation, corrupt length fields — errors the
+// serial reader cannot skip either) aborts the walk before OnError has
+// fired for anything, so falling back to serialDecode reproduces
+// BinaryReader's callbacks, error value and partial record prefix exactly.
 func decodeBinaryBytes(data []byte, opts DecodeOptions, workers int) (Header, bool, []Record, error) {
-	p := data[BinaryMagicLen:]
-	if len(p) < 1 {
-		return Header{}, false, nil, fmt.Errorf("trace: short binary preamble: %w", io.ErrUnexpectedEOF)
-	}
-	flags := p[0]
-	p = p[1:]
-	pid, n := binary.Varint(p)
-	if n <= 0 {
-		return Header{}, false, nil, fmt.Errorf("trace: bad binary preamble pid")
-	}
-	p = p[n:]
-	hasHdr := flags&1 != 0
-	var h Header
-	if hasHdr {
-		h = Header{PID: int(pid)}
+	h, hasHdr, p, err := parseBinaryPreamble(data)
+	if err != nil {
+		return serialDecode(data, opts)
 	}
 
 	var blocks []binaryBlock
 	for len(p) > 0 {
-		ord := len(blocks) + 1
 		payloadLen, n := binary.Uvarint(p)
 		if n <= 0 {
-			return h, hasHdr, nil, fmt.Errorf("trace: block %d: bad frame: %w", ord, io.ErrUnexpectedEOF)
+			return serialDecode(data, opts)
 		}
 		p = p[n:]
 		if payloadLen > maxBlockPayload {
-			return h, hasHdr, nil, fmt.Errorf("trace: block %d: payload length %d exceeds limit", ord, payloadLen)
+			return serialDecode(data, opts)
 		}
 		recCount, n := binary.Uvarint(p)
 		if n <= 0 {
-			return h, hasHdr, nil, fmt.Errorf("trace: block %d: bad frame: %w", ord, io.ErrUnexpectedEOF)
+			return serialDecode(data, opts)
 		}
 		p = p[n:]
 		if recCount > payloadLen {
-			return h, hasHdr, nil, fmt.Errorf("trace: block %d: record count %d exceeds payload %d", ord, recCount, payloadLen)
+			return serialDecode(data, opts)
 		}
 		if len(p) < 4+int(payloadLen) {
-			return h, hasHdr, nil, fmt.Errorf("trace: block %d: truncated payload: %w", ord, io.ErrUnexpectedEOF)
+			return serialDecode(data, opts)
 		}
 		crc := binary.LittleEndian.Uint32(p)
 		p = p[4:]
-		blocks = append(blocks, binaryBlock{payload: p[:payloadLen], recCount: int(recCount), crc: crc})
+		if recCount == 0 {
+			// Auxiliary record-free block (e.g. the block-index footer):
+			// CRC-check it in order like the serial reader, decode nothing.
+			blocks = append(blocks, binaryBlock{payload: p[:payloadLen], recCount: 0, crc: crc, aux: true})
+		} else {
+			blocks = append(blocks, binaryBlock{payload: p[:payloadLen], recCount: int(recCount), crc: crc})
+		}
 		p = p[payloadLen:]
 	}
 
@@ -162,6 +167,9 @@ func decodeBinaryBytes(data []byte, opts DecodeOptions, workers int) (Header, bo
 				b := &blocks[i]
 				if crc32.ChecksumIEEE(b.payload) != b.crc {
 					b.err = ErrBlockChecksum
+					continue
+				}
+				if b.aux {
 					continue
 				}
 				out := big[offs[i] : offs[i] : offs[i]+b.recCount]

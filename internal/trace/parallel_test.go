@@ -37,7 +37,16 @@ func sameDecode(t *testing.T, data []byte, opts DecodeOptions, workers int) {
 		if werr.Error() != gerr.Error() {
 			t.Fatalf("err text mismatch:\nserial:   %v\nparallel: %v", werr, gerr)
 		}
-		// Partial results accompanying an error are unspecified.
+		// The partial output accompanying an error is part of the contract:
+		// it must be the serial reader's exact kept-record prefix.
+		if len(grecs) != len(wrecs) {
+			t.Fatalf("partial record count mismatch: serial=%d parallel=%d", len(wrecs), len(grecs))
+		}
+		for i := range grecs {
+			if !grecs[i].Equal(&wrecs[i]) {
+				t.Fatalf("partial record %d mismatch: serial=%v parallel=%v", i, &wrecs[i], &grecs[i])
+			}
+		}
 		return
 	}
 	if gh != wh || ghas != whas {
@@ -142,6 +151,34 @@ func TestDecodeBytesBinaryMatchesSerial(t *testing.T) {
 
 	// Truncated frame: identical hard error.
 	sameDecode(t, data[:len(data)-5], DecodeOptions{}, 4)
+}
+
+// TestDecodeBytesBinaryFrameDamagePrefix: frame-walk failures (cuts that
+// truncate a frame header or payload mid-file) must return the serial
+// reader's exact kept-record prefix next to the identical error — the
+// tightened partial-output contract, in both strict and lenient mode.
+func TestDecodeBytesBinaryFrameDamagePrefix(t *testing.T) {
+	h, recs, err := ParseAll(bigTextTrace(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeBinary(t, &h, recs, 512)
+	for _, cut := range []int{1, 7, 100, len(data) / 2} {
+		trunc := data[:len(data)-cut]
+		for _, workers := range []int{1, 4} {
+			sameDecode(t, trunc, DecodeOptions{}, workers)
+			sameDecode(t, trunc, DecodeOptions{Mode: Lenient}, workers)
+		}
+	}
+	// A mid-file cut leaves whole blocks before the damage: the partial
+	// output must carry them, not come back empty.
+	_, _, precs, perr := DecodeBytes(data[:len(data)/2], DecodeOptions{}, 4)
+	if perr == nil {
+		t.Fatal("mid-file truncation decoded cleanly")
+	}
+	if len(precs) == 0 {
+		t.Fatal("partial output empty, want the decoded prefix")
+	}
 }
 
 func TestDecodeParallelDeterministic(t *testing.T) {

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSourceMatchesReadAll: draining a source reproduces the serial
+// reader's output for both containers.
+func TestSourceMatchesReadAll(t *testing.T) {
+	h, recs := sampleRecords(t)
+	inputs := map[string][]byte{
+		"text":   []byte(sampleTrace),
+		"binary": encodeBinary(t, &h, recs, 2),
+	}
+	for name, data := range inputs {
+		for _, batch := range []int{0, 1, 3} {
+			rd, _, err := OpenReader(bytes.NewReader(data), DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := NewSource(rd, batch)
+			gh, err := src.Header()
+			if err != nil || gh != h || !src.HasHeader() {
+				t.Fatalf("%s batch=%d: header=%+v err=%v", name, batch, gh, err)
+			}
+			got, err := ReadSource(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(recs) {
+				t.Fatalf("%s batch=%d: got %d records, want %d", name, batch, len(got), len(recs))
+			}
+			for i := range got {
+				if !got[i].Equal(&recs[i]) {
+					t.Fatalf("%s batch=%d: record %d = %v, want %v", name, batch, i, &got[i], &recs[i])
+				}
+			}
+			// The source is exhausted: EOF is sticky.
+			for i := 0; i < 2; i++ {
+				if b, err := src.NextBatch(); b != nil || err != io.EOF {
+					t.Fatalf("%s: NextBatch after end = (%v, %v), want (nil, EOF)", name, b, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSourceBatchContract: batches are non-empty, at most batch-sized for
+// text, and reused between calls (the documented aliasing).
+func TestSourceBatchContract(t *testing.T) {
+	h, recs := sampleRecords(t)
+	_ = h
+	rd := NewReader(strings.NewReader(sampleTrace))
+	src := NewSource(rd, 2)
+	var n int
+	for {
+		b, err := src.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 || len(b) > 2 {
+			t.Fatalf("batch size %d, want 1..2", len(b))
+		}
+		n += len(b)
+	}
+	if n != len(recs) {
+		t.Fatalf("streamed %d records, want %d", n, len(recs))
+	}
+}
+
+// TestSourcePartialBatchBeforeError: a decoding error surfaces only after
+// the records decoded before it have been yielded, exactly like the serial
+// reader's partial ReadBatch output.
+func TestSourcePartialBatchBeforeError(t *testing.T) {
+	text := "START PID 7\nL 7ff0001b0 8 main\nBOGUS\n"
+	rd := NewReader(strings.NewReader(text))
+	src := NewSource(rd, 8)
+	b, err := src.NextBatch()
+	if err != nil || len(b) != 1 {
+		t.Fatalf("first batch = (%d records, %v), want the pre-error prefix", len(b), err)
+	}
+	_, err = src.NextBatch()
+	var ble *BadLineError
+	if !errors.As(err, &ble) || ble.Line != 3 {
+		t.Fatalf("second batch error = %v, want BadLineError at line 3", err)
+	}
+	// The error is sticky.
+	if _, err2 := src.NextBatch(); !errors.Is(err2, err) {
+		t.Fatalf("sticky error = %v, want %v", err2, err)
+	}
+}
+
+// TestSliceSource: windows cover the slice in order without copying.
+func TestSliceSource(t *testing.T) {
+	h, recs := sampleRecords(t)
+	src := NewSliceSource(h, true, recs, 2)
+	got, err := ReadSource(src)
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("got %d records err=%v", len(got), err)
+	}
+	empty := NewSliceSource(Header{}, false, nil, 0)
+	if b, err := empty.NextBatch(); b != nil || err != io.EOF {
+		t.Fatalf("empty source = (%v, %v), want (nil, EOF)", b, err)
+	}
+}
+
+// TestOpenSourceSniffs: OpenSource detects the container like OpenReader.
+func TestOpenSourceSniffs(t *testing.T) {
+	h, recs := sampleRecords(t)
+	bin := encodeBinary(t, &h, recs, 0)
+	if _, f, err := OpenSource(bytes.NewReader(bin), DecodeOptions{}, 0); err != nil || f != FormatBinary {
+		t.Fatalf("binary: format=%v err=%v", f, err)
+	}
+	if _, f, err := OpenSource(strings.NewReader(sampleTrace), DecodeOptions{}, 0); err != nil || f != FormatText {
+		t.Fatalf("text: format=%v err=%v", f, err)
+	}
+}

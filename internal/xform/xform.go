@@ -180,32 +180,46 @@ func (e *Engine) publish(before Stats) {
 // Run streams records from rd to wr, transforming as it goes — the paper's
 // trace-file → transformed_trace.out pipeline.
 func (e *Engine) Run(rd *trace.Reader, wr *trace.Writer) error {
-	h, err := rd.Header()
+	return e.RunSource(trace.NewSource(rd, 0), wr)
+}
+
+// RunSource streams record batches from src to wr, transforming as it
+// goes, holding only one batch live at a time — the constant-memory
+// transform stage, format-agnostic on both ends. Like TransformAll it
+// publishes its stat deltas to the default telemetry registry.
+func (e *Engine) RunSource(src trace.RecordSource, wr trace.RecordWriter) error {
+	before := e.stats
+	h, err := src.Header()
 	if err != nil && err != io.EOF {
 		return err
 	}
 	// A headerless input stays headerless — inventing a zero START line
 	// would break byte-level round trips through tracediff.
-	if rd.HasHeader() {
+	if src.HasHeader() {
 		if err := wr.WriteHeader(h); err != nil {
 			return err
 		}
 	}
 	for {
-		rec, err := rd.Read()
+		batch, err := src.NextBatch()
 		if err == io.EOF {
+			e.publish(before)
 			return wr.Flush()
 		}
 		if err != nil {
+			e.publish(before)
 			return err
 		}
-		out, err := e.Transform(&rec)
-		if err != nil {
-			return err
-		}
-		for i := range out {
-			if err := wr.Write(&out[i]); err != nil {
+		for i := range batch {
+			out, err := e.Transform(&batch[i])
+			if err != nil {
+				e.publish(before)
 				return err
+			}
+			for j := range out {
+				if err := wr.Write(&out[j]); err != nil {
+					return err
+				}
 			}
 		}
 	}
