@@ -19,7 +19,7 @@ var (
 )
 
 // tools lists every command built for the integration tests.
-var tools = []string{"gltrace", "dinero", "dsxform", "tracediff", "setplot", "glprof", "experiments", "dsx", "glcheck"}
+var tools = []string{"gltrace", "dinero", "dsxform", "tracediff", "setplot", "glprof", "experiments", "dsx", "glcheck", "tracedstd"}
 
 func buildTools(t *testing.T) string {
 	t.Helper()

@@ -17,9 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tracedst/internal/analysis"
 	"tracedst/internal/cache"
@@ -96,12 +99,16 @@ func main() {
 	var sim *dinero.Simulator
 	switch {
 	case *shards != 0:
+		// SIGINT/SIGTERM cancel the shard context: every worker stops at
+		// its next record batch instead of the process dying mid-merge.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		sp := obs.Reg.StartSpan("dinero/simulate-sharded")
 		tr, err := trace.OpenIndexed(fs.Arg(0))
 		if err != nil {
 			obs.Fatal(err)
 		}
-		res, err := dinero.SimulateSharded(tr, opts, *shards, tf.Options())
+		res, err := dinero.SimulateShardedContext(ctx, tr, opts, *shards, tf.Options())
 		if err != nil {
 			tr.Close()
 			obs.Fatal(err)

@@ -1,0 +1,133 @@
+// Command tracedstd serves the trace-analysis pipeline over HTTP: upload
+// a trace (text or .glb), get back a managed job that decodes, validates,
+// optionally transforms and simulates it, with progress over SSE and the
+// report at /jobs/{id}/report.
+//
+// Usage:
+//
+//	tracedstd -state /var/lib/tracedstd
+//	tracedstd -addr :8477 -workers 4 -rate 20 -max-body 128m
+//
+// Robustness: uploads are admission-controlled (per-client rate limit →
+// 429, body cap → 413, bounded queue → 503), each job runs under a
+// per-task timeout/retry/panic-isolation policy, and SIGINT/SIGTERM
+// drain gracefully — running jobs are checkpointed back to queued, and a
+// restart on the same -state directory resumes them to byte-identical
+// reports:
+//
+//	curl -sT trace.glb 'localhost:8477/jobs?wait=1'
+//	curl -s localhost:8477/jobs/j000001/events     # SSE progress
+//	curl -s localhost:8477/jobs/j000001/report
+//	curl -s localhost:8477/metrics                 # telemetry manifest
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tracedst/internal/cliutil"
+	"tracedst/internal/experiments"
+	"tracedst/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tracedstd", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8477", "listen address")
+	state := fs.String("state", "", "state directory for job records and spooled uploads (required)")
+	workers := fs.Int("workers", 2, "concurrent job executors")
+	queue := fs.Int("queue", 16, "pending-job queue depth; submissions beyond it get 503")
+	maxBody := fs.String("max-body", "64m", "upload body cap (suffixes k/m allowed); larger uploads get 413")
+	rate := fs.Float64("rate", 10, "per-client upload rate limit in requests/second (negative = unlimited)")
+	burst := fs.Int("burst", 20, "per-client upload burst")
+	bodyTimeout := fs.Duration("body-timeout", 30*time.Second, "deadline for reading one upload body (slow-loris guard)")
+	taskTimeout := fs.Duration("task-timeout", 0, "per-job deadline (0 = none)")
+	retries := fs.Int("retries", 0, "retry a job failing with a transient I/O error this many times")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs to checkpoint")
+	heartbeat := fs.Duration("heartbeat", 10*time.Second, "SSE keep-alive interval")
+	throttle := fs.Duration("throttle", 0, "sleep between record batches of every job (debug aid: makes drain timing deterministic)")
+	cf := cliutil.NewCacheFlags(fs, "l1", "32k", 32, 1)
+	of := cliutil.NewObsFlags(fs, "tracedstd")
+	of.AddProfileFlags(fs)
+	_ = fs.Parse(os.Args[1:])
+
+	obs, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracedstd:", err)
+		os.Exit(2)
+	}
+	if *state == "" {
+		obs.Fatal(errors.New("-state DIR is required (job records and spooled uploads live there)"))
+	}
+	baseCfg, err := cf.Build()
+	if err != nil {
+		obs.Fatal(err)
+	}
+	bodyCap, err := cliutil.ParseSize(*maxBody)
+	if err != nil {
+		obs.Fatal(fmt.Errorf("-max-body: %w", err))
+	}
+
+	srv, err := server.New(server.Config{
+		StateDir:     *state,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBodyBytes: bodyCap,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+		BodyTimeout:  *bodyTimeout,
+		Heartbeat:    *heartbeat,
+		Throttle:     *throttle,
+		Policy: experiments.RunPolicy{
+			TaskTimeout: *taskTimeout,
+			Retries:     *retries,
+		},
+		BaseConfig: baseCfg,
+		Reg:        obs.Reg,
+		Log:        obs.Log,
+	})
+	if err != nil {
+		obs.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		obs.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	obs.Log.Info("listening", "addr", ln.Addr().String(), "state", *state)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			obs.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		obs.Log.Info("draining: refusing new work, checkpointing in-flight jobs", "timeout", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(dctx); err != nil {
+			obs.Log.Warn("drain incomplete", "err", err.Error())
+		}
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(hctx)
+		hcancel()
+		cancel()
+		obs.Log.Info("stopped; restart with the same -state to resume in-flight jobs", "state", *state)
+	}
+	obs.Close()
+}

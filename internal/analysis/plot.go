@@ -59,6 +59,29 @@ func FromSimulator(title string, sim *dinero.Simulator, includeNoSym bool) *Plot
 	return p
 }
 
+// FromMulti builds the plot of configuration i of a finished multi-config
+// simulation — FromSimulator for the single-pass engine. Exact-mode
+// plots are identical to FromSimulator over an independent run of the
+// same configuration.
+func FromMulti(title string, ms *dinero.MultiSim, i int, includeNoSym bool) *Plot {
+	p := &Plot{Title: title, Sets: ms.Config(i).Sets()}
+	for _, vs := range ms.Vars(i) {
+		if vs.Name == dinero.NoSymbol && !includeNoSym {
+			continue
+		}
+		if vs.Accesses == 0 {
+			continue
+		}
+		s := Series{Label: vs.Name, Hits: make([]int64, p.Sets), Misses: make([]int64, p.Sets)}
+		for j, ps := range vs.PerSet {
+			s.Hits[j] = ps.Hits
+			s.Misses[j] = ps.Misses
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p
+}
+
 // OccupiedRange returns the smallest [lo, hi] set interval containing all
 // traffic. ok is false when the plot is empty.
 func (p *Plot) OccupiedRange() (lo, hi int, ok bool) {

@@ -7,6 +7,7 @@
 package dinero
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,6 +34,16 @@ type ShardedResult struct {
 // table is not goroutine-safe). dec carries the lenient/strict decode
 // semantics applied per shard.
 func SimulateSharded(tr *trace.IndexedTrace, opts Options, shards int, dec trace.DecodeOptions) (*ShardedResult, error) {
+	return SimulateShardedContext(context.Background(), tr, opts, shards, dec)
+}
+
+// SimulateShardedContext is SimulateSharded under a context: every shard
+// polls ctx between record batches, so cancellation (SIGINT/SIGTERM in
+// cmd/dinero and cmd/experiments) stops all workers within one batch and
+// surfaces ctx.Err(). An interrupted run returns no partial result —
+// callers resume by re-running, which is cheap because shards are
+// deterministic.
+func SimulateShardedContext(ctx context.Context, tr *trace.IndexedTrace, opts Options, shards int, dec trace.DecodeOptions) (*ShardedResult, error) {
 	if opts.Syms != nil {
 		return nil, fmt.Errorf("dinero: SimulateSharded: shared Syms table is not supported (shards intern privately)")
 	}
@@ -61,12 +72,15 @@ func SimulateSharded(tr *trace.IndexedTrace, opts Options, shards int, dec trace
 		wg.Add(1)
 		go func(i int, lo, hi int) {
 			defer wg.Done()
-			errs[i] = sims[i].ProcessSource(tr.Source(lo, hi, dec))
+			errs[i] = sims[i].ProcessSource(&ctxSource{ctx: ctx, src: tr.Source(lo, hi, dec)})
 		}(i, r[0], r[1])
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			if cerr := context.Cause(ctx); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("dinero: shard %d (blocks %d-%d): %w", i, ranges[i][0], ranges[i][1], err)
 		}
 	}
@@ -81,6 +95,25 @@ func SimulateSharded(tr *trace.IndexedTrace, opts Options, shards int, dec trace
 		}
 	}
 	return res, nil
+}
+
+// ctxSource threads context cancellation into a RecordSource: NextBatch
+// fails with the context's error as soon as it fires, so a shard stops
+// within one batch of cancellation.
+type ctxSource struct {
+	ctx context.Context
+	src trace.RecordSource
+}
+
+func (s *ctxSource) Header() (trace.Header, error) { return s.src.Header() }
+func (s *ctxSource) HasHeader() bool               { return s.src.HasHeader() }
+func (s *ctxSource) BadLines() int                 { return s.src.BadLines() }
+
+func (s *ctxSource) NextBatch() ([]trace.Record, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.src.NextBatch()
 }
 
 // PublishShardTelemetry records a sharded run's shape next to the merged

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -72,6 +73,22 @@ func (c *Checkpoint) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Keys returns every stored entry key with the given prefix ("" for
+// all), sorted — the enumeration a restarted service uses to rediscover
+// its persisted jobs.
+func (c *Checkpoint) Keys(prefix string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Get decodes the entry for key into out, reporting whether it existed.

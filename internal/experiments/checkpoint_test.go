@@ -139,8 +139,8 @@ func TestFigureCheckpointReplay(t *testing.T) {
 		t.Fatalf("replay returned %d figures, want %d", len(replayed), len(first))
 	}
 	for i, r := range replayed {
-		if r.Sim != nil {
-			t.Errorf("%s: replayed result has live Sim — it was recomputed, not restored", r.ID)
+		if r.SimReport != "" {
+			t.Errorf("%s: replayed result has a SimReport — it was recomputed, not restored", r.ID)
 		}
 		if got, want := fingerprintPrinted(r), fingerprintPrinted(first[i]); got != want {
 			t.Errorf("%s: replayed figure prints differently:\n--- fresh ---\n%s\n--- replayed ---\n%s",

@@ -34,8 +34,8 @@ const (
 
 // Result is one regenerated figure. Every printed field survives a JSON
 // round trip, which is how checkpoint/resume replays a finished figure
-// without recomputing it; only Sim (live simulator state, never printed)
-// is excluded and stays nil on restored results.
+// without recomputing it; only SimReport (never printed) is excluded and
+// stays empty on restored results.
 type Result struct {
 	// ID is the figure identifier, e.g. "fig3".
 	ID string
@@ -47,9 +47,10 @@ type Result struct {
 	Plot *analysis.Plot
 	// Diff holds the trace alignment for diff figures (nil otherwise).
 	Diff *tracediff.Diff
-	// Sim is the finished simulator for histogram figures. It is not
-	// checkpointed: results restored from a checkpoint have Sim == nil.
-	Sim *dinero.Simulator `json:"-"`
+	// SimReport is the rendered simulator report for histogram figures.
+	// It is not checkpointed: results restored from a checkpoint have an
+	// empty SimReport.
+	SimReport string `json:"-"`
 	// Notes are measured observations to compare against the paper's
 	// claims.
 	Notes []string
@@ -239,19 +240,22 @@ func transformT2Hot() ([]trace.Record, error) {
 	})
 }
 
-// simulate runs records through a fresh simulator attributing against the
-// shared intern table (the records' ids were issued by it), publishing
-// the finished simulation's counters to the default registry.
-func simulate(recs []trace.Record, cfg cache.Config) (*dinero.Simulator, error) {
-	sim, err := dinero.New(dinero.Options{L1: cfg, Syms: sharedSyms})
+// simulate runs records once through the single-pass multi-config engine
+// for the given configs, attributing against the shared intern table (the
+// records' ids were issued by it) and publishing the finished pass's
+// counters to the default registry. Exact-mode MultiSim reports and
+// per-variable series are byte-identical to independent Simulator runs,
+// so figures built from it print exactly as before.
+func simulate(recs []trace.Record, cfgs ...cache.Config) (*dinero.MultiSim, error) {
+	ms, err := dinero.NewMulti(dinero.MultiOptions{Configs: cfgs, Syms: sharedSyms})
 	if err != nil {
 		return nil, err
 	}
-	sim.Process(recs)
+	ms.Process(recs)
 	reg := telemetry.Default()
 	reg.Counter("experiments.records_in").Add(int64(len(recs)))
-	sim.PublishTelemetry(reg)
-	return sim, nil
+	ms.PublishTelemetry(reg)
+	return ms, nil
 }
 
 // ckptCounters caches the checkpoint hit/miss/put counters for one run.
@@ -269,17 +273,17 @@ func checkpointCounters() ckptCounters {
 }
 
 func histogramResult(id, title string, recs []trace.Record, cfg cache.Config) (*Result, error) {
-	sim, err := simulate(recs, cfg)
+	ms, err := simulate(recs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	r := &Result{
-		ID:      id,
-		Title:   title,
-		Cache:   fmt.Sprintf("%d bytes, %d-byte blocks, %s", cfg.Size, cfg.BlockSize, assocName(cfg)),
-		Plot:    analysis.FromSimulator(title, sim, false),
-		Sim:     sim,
-		Records: len(recs),
+		ID:        id,
+		Title:     title,
+		Cache:     fmt.Sprintf("%d bytes, %d-byte blocks, %s", cfg.Size, cfg.BlockSize, assocName(cfg)),
+		Plot:      analysis.FromMulti(title, ms, 0, false),
+		SimReport: ms.Report(0),
+		Records:   len(recs),
 	}
 	return r, nil
 }
@@ -542,7 +546,7 @@ func AllParallel(workers int) ([]*Result, error) {
 
 // AllOpts regenerates every figure under explicit run options. A non-nil
 // checkpoint replays figures finished by an earlier interrupted run
-// (restored results print identically; their Sim field is nil) and
+// (restored results print identically; their SimReport is empty) and
 // persists fresh ones. On error the partial result slice is returned with
 // it — failed or skipped figures are nil entries, and in KeepGoing mode
 // the error is a TaskErrors naming each failed figure while the others

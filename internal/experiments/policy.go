@@ -184,6 +184,16 @@ func safeCall(ctx context.Context, i int, f func(context.Context, int) error) (e
 	return f(ctx, i)
 }
 
+// RunOne applies the policy to a single task outside a pooled run:
+// per-task deadline, panic isolation, and bounded retry with exponential
+// backoff for transient errors — the same treatment runTask gives each
+// pooled task. The returned attempts count is how many times f ran.
+// Long-lived callers (the tracedstd job runner) use it to give every job
+// the pool's resilience without a pool.
+func RunOne(ctx context.Context, pol RunPolicy, f func(context.Context) error) (attempts int, err error) {
+	return runTask(ctx, &pol, 0, func(ctx context.Context, _ int) error { return f(ctx) })
+}
+
 // runTask applies the policy to one task: per-task deadline, panic
 // isolation, and bounded retry with exponential backoff for transient
 // errors. The returned attempts count is how many times f ran.

@@ -80,9 +80,7 @@ func fingerprintResults(rs []*Result) string {
 		if r.Diff != nil {
 			fmt.Fprintf(&b, "diff: %+v\n", r.Diff.Stats())
 		}
-		if r.Sim != nil {
-			b.WriteString(r.Sim.Report())
-		}
+		b.WriteString(r.SimReport)
 	}
 	return b.String()
 }

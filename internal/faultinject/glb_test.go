@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"tracedst/internal/trace"
+)
+
+// encodeIndexedGLB renders a small binary trace with the block-index
+// footer enabled, two records per block.
+func encodeIndexedGLB(t *testing.T) ([]byte, []trace.Record) {
+	t.Helper()
+	recs := []trace.Record{
+		{Op: trace.Load, Addr: 0x1000, Size: 4, Func: "main"},
+		{Op: trace.Store, Addr: 0x1004, Size: 4, Func: "main"},
+		{Op: trace.Load, Addr: 0x2000, Size: 8, Func: "work"},
+		{Op: trace.Load, Addr: 0x2008, Size: 8, Func: "work"},
+		{Op: trace.Store, Addr: 0x1008, Size: 4, Func: "main"},
+	}
+	var buf bytes.Buffer
+	bw := trace.NewBinaryWriter(&buf)
+	bw.EnableIndex()
+	bw.SetBlockRecords(2)
+	if err := bw.WriteHeader(trace.Header{PID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := bw.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), recs
+}
+
+// TestGLBFooterClassesFallBackToScan: every footer corruption class
+// leaves the data blocks intact, so indexed open must succeed with a
+// scan-built index identical to the healthy footer's, FooterErr must
+// record the damage, and a full-range read must return every record.
+func TestGLBFooterClassesFallBackToScan(t *testing.T) {
+	clean, recs := encodeIndexedGLB(t)
+	want, err := trace.NewIndexedBytes(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.HasFooter() {
+		t.Fatal("clean trace has no footer")
+	}
+	wix := want.Index()
+
+	for _, class := range GLBFooterClasses() {
+		t.Run(class.Name, func(t *testing.T) {
+			data := class.Apply(append([]byte(nil), clean...))
+			if bytes.Equal(data, clean) {
+				t.Fatal("corruption class left the trace unchanged")
+			}
+			tr, err := trace.NewIndexedBytes(data)
+			if err != nil {
+				t.Fatalf("indexed open did not fall back to a scan: %v", err)
+			}
+			if tr.HasFooter() {
+				t.Fatal("damaged footer accepted as a footer")
+			}
+			if tr.FooterErr() == nil {
+				t.Fatal("fallback recorded no FooterErr")
+			}
+			gix := tr.Index()
+			if gix.Records != wix.Records || gix.NumBlocks() != wix.NumBlocks() {
+				t.Fatalf("scan index %+v != footer index %+v", gix, wix)
+			}
+			for i := range wix.Offsets {
+				if gix.Offsets[i] != wix.Offsets[i] || gix.Counts[i] != wix.Counts[i] {
+					t.Fatalf("block %d: scan (%d,%d) != footer (%d,%d)",
+						i, gix.Offsets[i], gix.Counts[i], wix.Offsets[i], wix.Counts[i])
+				}
+			}
+			got, err := trace.ReadSource(tr.Source(0, tr.NumBlocks(), trace.DecodeOptions{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(recs) {
+				t.Fatalf("got %d records, want %d (footer damage must be lossless)", len(got), len(recs))
+			}
+			for i := range got {
+				if !got[i].Equal(&recs[i]) {
+					t.Fatalf("record %d = %v, want %v", i, &got[i], &recs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGLBFooterClassesValidateWarn: the validator reads every record of
+// a footer-damaged trace and reports the damage as a severity-coded
+// "footer" warning — no errors, so glcheck still exits 0 without -werror.
+func TestGLBFooterClassesValidateWarn(t *testing.T) {
+	clean, recs := encodeIndexedGLB(t)
+	for _, class := range GLBFooterClasses() {
+		t.Run(class.Name, func(t *testing.T) {
+			data := class.Apply(append([]byte(nil), clean...))
+			rep, err := trace.Validate(bytes.NewReader(data), trace.ValidateOptions{SkipRegionChecks: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("footer damage produced errors: %+v", rep.Diags)
+			}
+			if rep.Records != len(recs) {
+				t.Fatalf("validated %d records, want %d", rep.Records, len(recs))
+			}
+			found := false
+			for _, d := range rep.Diags {
+				if d.Code == trace.CodeFooter && d.Sev == trace.SevWarn {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %q warning among %+v", trace.CodeFooter, rep.Diags)
+			}
+		})
+	}
+}
+
+// TestGLBFooterClassesNoTrailerPassThrough: traces without a footer pass
+// through every class unchanged.
+func TestGLBFooterClassesNoTrailerPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	bw := trace.NewBinaryWriter(&buf)
+	rec := trace.Record{Op: trace.Load, Addr: 0x10, Size: 4, Func: "f"}
+	if err := bw.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	plain := buf.Bytes()
+	for _, class := range GLBFooterClasses() {
+		if got := class.Apply(plain); !bytes.Equal(got, plain) {
+			t.Fatalf("%s modified a footerless trace", class.Name)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// HTTP chaos layer: adversarial client behaviours for exercising a trace
+// service's admission control end to end. SlowBody feeds an upload at a
+// slow-loris trickle, AbortBody dies mid-stream, and PostTruncated speaks
+// just enough raw HTTP to declare a Content-Length and then renege on it
+// — the three client pathologies a robust ingest path must survive.
+package faultinject
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// ErrAborted is the error an AbortBody reader returns once its budget is
+// spent — the in-process stand-in for a client vanishing mid-upload.
+var ErrAborted = errors.New("faultinject: client aborted mid-stream")
+
+// SlowBody returns a reader that serves data in chunk-sized pieces with
+// delay between them: a slow-loris upload. chunk < 1 defaults to 1.
+func SlowBody(data []byte, chunk int, delay time.Duration) io.Reader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &slowBody{data: data, chunk: chunk, delay: delay}
+}
+
+type slowBody struct {
+	data  []byte
+	chunk int
+	delay time.Duration
+	begun bool
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	if s.begun && s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.begun = true
+	n := s.chunk
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, s.data[:n])
+	s.data = s.data[n:]
+	return n, nil
+}
+
+// AbortBody returns a reader that yields the first n bytes of data and
+// then fails with ErrAborted: a client connection dying mid-stream.
+func AbortBody(data []byte, n int) io.Reader {
+	if n > len(data) {
+		n = len(data)
+	}
+	return &abortBody{data: data[:n]}
+}
+
+type abortBody struct{ data []byte }
+
+func (a *abortBody) Read(p []byte) (int, error) {
+	if len(a.data) == 0 {
+		return 0, ErrAborted
+	}
+	n := copy(p, a.data)
+	a.data = a.data[n:]
+	return n, nil
+}
+
+// PostTruncated POSTs body to addr+path declaring the full Content-Length
+// but sending only the first sendN bytes before closing the write side —
+// a truncated upload as seen from the server. It returns the response
+// status code (0 if the server hung up without answering, which is a
+// legitimate response to a liar).
+func PostTruncated(addr, path, contentType string, body []byte, sendN int) (int, error) {
+	if sendN > len(body) {
+		sendN = len(body)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	fmt.Fprintf(conn, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		path, addr, contentType, len(body))
+	// The server may already have rejected and reset; a write error here is
+	// fine — the response read below tells the story.
+	_, _ = conn.Write(body[:sendN])
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, nil // connection dropped without a response
+	}
+	var proto string
+	var code int
+	if _, err := fmt.Sscanf(strings.TrimSpace(line), "%s %d", &proto, &code); err != nil {
+		return 0, fmt.Errorf("faultinject: unparsable status line %q", line)
+	}
+	return code, nil
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tracedst/internal/cache"
+	"tracedst/internal/telemetry"
+)
+
+// TestDrainRestartResume is the acceptance test for graceful drain: a
+// server with one job running and one queued is drained mid-job; both
+// jobs must be persisted as queued, and a restarted server on the same
+// state directory must run them to completion with reports
+// byte-identical to an uninterrupted run.
+func TestDrainRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	recs := workloadRecords(4000)
+	glb := encodeGLB(t, recs, 32) // 125 batches
+	want := refReport(t, recs, cache.Paper32KDirect())
+
+	srv, err := New(Config{
+		StateDir:   dir,
+		Workers:    1,
+		RatePerSec: -1,
+		Reg:        telemetry.NewRegistry(),
+		Throttle: 20 * time.Millisecond, // job takes ~2.5s: drain catches it mid-run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	running := submit(t, ts.URL, "", glb)
+	queued := submit(t, ts.URL, "", glb)
+	waitState(t, ts.URL, running.ID, StateRunning)
+	// Give the running job time to make real progress before the drain,
+	// so the test exercises an interruption with partial work to discard.
+	deadline := time.Now().Add(5 * time.Second)
+	for getJob(t, ts.URL, running.ID).Progress == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cancel()
+	ts.Close()
+
+	// The second process: same state dir, no artificial slowness.
+	srv2, err := New(Config{StateDir: dir, Workers: 2, RatePerSec: -1, Reg: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+		ts2.Close()
+	}()
+
+	for _, id := range []string{running.ID, queued.ID} {
+		v := getJob(t, ts2.URL, id)
+		if !v.Resumed {
+			t.Errorf("%s not marked resumed after restart", id)
+		}
+		done := waitState(t, ts2.URL, id, StateDone)
+		if done.Records != int64(len(recs)) {
+			t.Errorf("%s resumed run simulated %d records, want %d", id, done.Records, len(recs))
+		}
+		if got := fetchReport(t, ts2.URL, id); got != want {
+			t.Errorf("%s: resumed report differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s",
+				id, want, got)
+		}
+	}
+}
+
+// TestDrainPersistsQueuedState: after Shutdown, the checkpoint on disk
+// holds every unfinished job as queued — nothing is lost, nothing is
+// left marked running.
+func TestDrainPersistsQueuedState(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{
+		StateDir:   dir,
+		Workers:    1,
+		RatePerSec: -1,
+		Reg:        telemetry.NewRegistry(),
+		Throttle: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	glb := encodeGLB(t, workloadRecords(4000), 32)
+	a := submit(t, ts.URL, "", glb)
+	b := submit(t, ts.URL, "", glb)
+	waitState(t, ts.URL, a.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+
+	// Read the persisted state back the way a fresh process would.
+	srv2, err := New(Config{StateDir: dir, Workers: 1, RatePerSec: -1, Reg: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		j := srv2.lookup(id)
+		if j == nil {
+			t.Fatalf("job %s lost across restart", id)
+		}
+		j.mu.Lock()
+		state, resumed := j.State, j.Resumed
+		j.mu.Unlock()
+		if state != StateQueued || !resumed {
+			t.Errorf("job %s restored as state=%s resumed=%v, want queued/resumed", id, state, resumed)
+		}
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	srv2.Shutdown(ctx2)
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tracedst/internal/cliutil"
+	"tracedst/internal/dinero"
+	"tracedst/internal/experiments"
+	"tracedst/internal/rules"
+	"tracedst/internal/trace"
+	"tracedst/internal/xform"
+)
+
+// JobState is one station of the job lifecycle. The machine is
+//
+//	queued → running → done | failed | canceled
+//
+// with one extra edge for resilience: a graceful drain moves running
+// jobs back to queued (persisted), and a restarted server re-runs them
+// from scratch — the pipeline is deterministic, so the re-run's report
+// is byte-identical to what the uninterrupted run would have produced.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (st JobState) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+// Job is the persisted face of one managed trace-analysis run: both the
+// API resource (minus Report, which has its own endpoint) and the value
+// checkpointed under "job/<id>", so a restarted server reloads exactly
+// what the API was reporting.
+type Job struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Format is the sniffed container of the upload ("text" or "binary").
+	Format string `json:"format"`
+	// ConfigSpec is the cache geometry override ("" = server default).
+	ConfigSpec string `json:"config,omitempty"`
+	// Rule is the optional dsxform rule source applied before simulation.
+	Rule string `json:"rule,omitempty"`
+	// Bytes is the spooled upload size.
+	Bytes int64 `json:"bytes"`
+	// Records is the number of records simulated (0 until done).
+	Records int64 `json:"records"`
+	// BadLines counts damaged units skipped during decode.
+	BadLines int `json:"bad_lines,omitempty"`
+	// Warnings counts validator warnings (e.g. a damaged .glb footer).
+	Warnings int `json:"warnings,omitempty"`
+	// Attempts is how many times the job ran under the retry policy.
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed marks a job re-adopted from a previous server process.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error is the failure/cancel reason for terminal non-done states.
+	Error string `json:"error,omitempty"`
+	// Report is the rendered simulator report (done jobs only).
+	Report string `json:"report,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// job is the in-memory runtime around a Job: lock, cancel handle, live
+// progress and the completion latch.
+type job struct {
+	mu sync.Mutex
+	Job
+	cancel     context.CancelFunc // non-nil while running
+	userCancel bool               // DELETE requested; distinguishes cancel from drain
+	progress   atomic.Int64       // records streamed so far in the current attempt
+	done       chan struct{}      // closed on terminal transition
+}
+
+// jobView is what list/detail endpoints and SSE events serialize: the
+// persisted Job minus the (possibly large) report, plus live progress.
+type jobView struct {
+	Job
+	Report   string `json:"report,omitempty"` // shadowed: never inline
+	Progress int64  `json:"progress"`
+}
+
+// view snapshots the job for serialization.
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{Job: j.Job, Progress: j.progress.Load()}
+	v.Report = ""
+	if j.State == StateDone {
+		v.Progress = j.Records
+	}
+	return v
+}
+
+// runJob executes one queued job under the server's RunPolicy and drives
+// its state machine to a terminal state — or back to queued when the
+// server is draining, so the next process can adopt it.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.State != StateQueued {
+		j.mu.Unlock()
+		return
+	}
+	if s.baseCtx.Err() != nil {
+		// Draining before the job ever started: leave it queued for the
+		// next process (it is already persisted as queued).
+		j.mu.Unlock()
+		return
+	}
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	j.State = StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.persist(j)
+	s.gauges()
+
+	attempts, err := experiments.RunOne(jctx, s.cfg.Policy, func(ctx context.Context) error {
+		return s.execute(ctx, j)
+	})
+	cancel()
+
+	j.mu.Lock()
+	j.Attempts = attempts
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.State = StateDone
+		j.Finished = s.cfg.now()
+	case errors.Is(err, context.Canceled) && !j.userCancel && s.baseCtx.Err() != nil:
+		// Graceful drain: revert to queued so the restarted server
+		// re-runs the job; determinism makes the re-run byte-identical.
+		j.State = StateQueued
+		j.Error = ""
+		j.Report = ""
+		j.Records = 0
+	case errors.Is(err, context.Canceled):
+		j.State = StateCanceled
+		j.Error = "canceled"
+		j.Finished = s.cfg.now()
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+		j.Finished = s.cfg.now()
+	}
+	terminal := j.State.terminal()
+	if terminal {
+		// Count before the state becomes observable, so a client that
+		// polls the job to completion already sees the counter bumped.
+		s.reg.Counter("server.jobs_" + string(j.State)).Inc()
+	}
+	j.mu.Unlock()
+	s.persist(j)
+	if terminal {
+		close(j.done)
+	}
+	s.gauges()
+}
+
+// execute is one attempt of the decode → validate → xform → dinero
+// pipeline, streaming the spooled upload in constant memory. It runs
+// under the job context: client cancellation, drain and the per-job
+// timeout all surface here between record batches.
+func (s *Server) execute(ctx context.Context, j *job) error {
+	j.progress.Store(0)
+	path := s.spoolPath(j.ID)
+
+	// Pass 1: structural validation. Region checks are skipped — uploads
+	// come from arbitrary tracers whose address spaces the server's
+	// memory model knows nothing about.
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rep, verr := trace.Validate(f, trace.ValidateOptions{SkipRegionChecks: true})
+	f.Close()
+	if verr != nil {
+		return verr
+	}
+	if !rep.OK() {
+		first := ""
+		for _, d := range rep.Diags {
+			if d.Sev == trace.SevError {
+				first = d.String()
+				break
+			}
+		}
+		return fmt.Errorf("trace failed validation: %d errors; first: %s", rep.Errors(), first)
+	}
+	j.mu.Lock()
+	j.Warnings = rep.Warnings()
+	j.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Pass 2: optional transformation feeding the simulator, straight
+	// from the spool file batch by batch.
+	cfg := s.cfg.BaseConfig
+	if j.ConfigSpec != "" {
+		cfg, err = cliutil.ParseConfigSpec(s.cfg.BaseConfig, j.ConfigSpec)
+		if err != nil {
+			return err
+		}
+	}
+	sim, err := dinero.New(dinero.Options{L1: cfg})
+	if err != nil {
+		return err
+	}
+	ts, err := cliutil.OpenTraceSource(path, trace.DecodeOptions{})
+	if err != nil {
+		return err
+	}
+	defer ts.Close()
+	var src trace.RecordSource = &jobSource{ctx: ctx, src: ts, progress: &j.progress, delay: s.cfg.Throttle}
+	if j.Rule != "" {
+		rule, err := rules.Parse(j.Rule)
+		if err != nil {
+			return err
+		}
+		eng, err := xform.New(xform.Options{}, rule)
+		if err != nil {
+			return err
+		}
+		src = &xformSource{src: src, eng: eng}
+	}
+	if err := sim.ProcessSource(src); err != nil {
+		return err
+	}
+
+	j.mu.Lock()
+	j.Records = sim.Records()
+	j.BadLines = ts.BadLines()
+	j.Report = sim.Report()
+	j.mu.Unlock()
+	s.reg.Counter("server.records_simulated").Add(sim.Records())
+	sim.PublishTelemetry(s.reg)
+	return nil
+}
+
+// jobSource threads the job context and live progress into a
+// RecordSource; the optional delay throttles batches (test hook for
+// exercising drain and cancellation mid-job).
+type jobSource struct {
+	ctx      context.Context
+	src      trace.RecordSource
+	progress *atomic.Int64
+	delay    time.Duration
+}
+
+func (s *jobSource) Header() (trace.Header, error) { return s.src.Header() }
+func (s *jobSource) HasHeader() bool               { return s.src.HasHeader() }
+func (s *jobSource) BadLines() int                 { return s.src.BadLines() }
+
+func (s *jobSource) NextBatch() ([]trace.Record, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.delay > 0 {
+		t := time.NewTimer(s.delay)
+		select {
+		case <-s.ctx.Done():
+			t.Stop()
+			return nil, s.ctx.Err()
+		case <-t.C:
+		}
+	}
+	recs, err := s.src.NextBatch()
+	s.progress.Add(int64(len(recs)))
+	return recs, err
+}
+
+// xformSource applies a transformation engine record-by-record between
+// a source and its consumer, preserving streaming (O(batch) memory).
+type xformSource struct {
+	src trace.RecordSource
+	eng *xform.Engine
+	out []trace.Record
+}
+
+func (s *xformSource) Header() (trace.Header, error) { return s.src.Header() }
+func (s *xformSource) HasHeader() bool               { return s.src.HasHeader() }
+func (s *xformSource) BadLines() int                 { return s.src.BadLines() }
+
+func (s *xformSource) NextBatch() ([]trace.Record, error) {
+	for {
+		in, err := s.src.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		s.out = s.out[:0]
+		for i := range in {
+			recs, err := s.eng.Transform(&in[i])
+			if err != nil {
+				return nil, err
+			}
+			s.out = append(s.out, recs...)
+		}
+		if len(s.out) > 0 {
+			return s.out, nil
+		}
+	}
+}

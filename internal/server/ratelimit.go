@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the per-client bucket map so an attacker cycling
+// client ids cannot grow server memory without bound; full (idle)
+// buckets are pruned first.
+const maxBuckets = 4096
+
+// rateLimiter is a per-client token bucket: each client key accrues
+// rate tokens per second up to burst, and every admitted request spends
+// one. It is the admission-control half of the 429 path.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter; rate <= 0 disables limiting.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), now: now, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token for key. When the bucket is empty it reports
+// false plus how long until a token is available — the Retry-After value.
+func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
+	if rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[key]
+	if b == nil {
+		if len(rl.buckets) >= maxBuckets {
+			rl.prune()
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops refilled (idle) buckets; callers hold mu.
+func (rl *rateLimiter) prune() {
+	now := rl.now()
+	for k, b := range rl.buckets {
+		tokens := b.tokens + now.Sub(b.last).Seconds()*rl.rate
+		if tokens >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+}

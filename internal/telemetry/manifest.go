@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -78,6 +79,18 @@ func (r *Registry) Snapshot(tool string) *Manifest {
 		}
 	}
 	return m
+}
+
+// WriteTo writes the manifest as indented JSON to w — the shape served
+// by tracedstd's /metrics endpoint, identical to what WriteFile persists.
+func (m *Manifest) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
 }
 
 // WriteFile writes the manifest as indented JSON to path ("-" for

@@ -292,6 +292,7 @@ type BinaryReader struct {
 	block  int // 1-based ordinal of the block last read
 	bad    int
 	err    error
+	auxErr error // first damage seen in a record-free auxiliary block
 
 	recs    []Record // decoded current block
 	next    int
@@ -365,6 +366,20 @@ func (rd *BinaryReader) BadLines() int { return rd.bad }
 // Blocks returns the number of blocks consumed so far.
 func (rd *BinaryReader) Blocks() int { return rd.block }
 
+// AuxDamage returns the first damage found in a record-free auxiliary
+// block (e.g. a torn or checksum-failed block-index footer), nil when
+// none was seen. Auxiliary blocks carry no records, so their damage
+// loses no data and is reported out of band rather than through the
+// bad-line machinery — even strict reads succeed past it.
+func (rd *BinaryReader) AuxDamage() error { return rd.auxErr }
+
+// noteAux records auxiliary-block damage, keeping the first error.
+func (rd *BinaryReader) noteAux(err error) {
+	if rd.auxErr == nil {
+		rd.auxErr = err
+	}
+}
+
 // badBlock mirrors the text reader's skipBad for a damaged block.
 func (rd *BinaryReader) badBlock(err error) (bool, error) {
 	ble := &BadLineError{Line: rd.block, Err: err}
@@ -379,6 +394,11 @@ func (rd *BinaryReader) badBlock(err error) (bool, error) {
 		return false, fmt.Errorf("%w (bad-line budget %d exhausted)", ble, rd.opts.MaxBadLines)
 	}
 	return true, nil
+}
+
+// eofish reports whether err marks the end of the stream (clean or short).
+func eofish(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // loadBlock reads and decodes the next block into rd.recs. io.EOF means a
@@ -405,6 +425,12 @@ func (rd *BinaryReader) loadBlock() error {
 		}
 		var crcBuf [4]byte
 		if _, err := io.ReadFull(rd.br, crcBuf[:]); err != nil {
+			if recCount == 0 && eofish(err) {
+				// A record-free block torn off at the end of the stream
+				// (ReadFull only comes up short there): no records lost.
+				rd.noteAux(fmt.Errorf("trace: block %d: truncated record-free block: %w", rd.block, err))
+				return io.EOF
+			}
 			return fmt.Errorf("trace: block %d: bad frame: %w", rd.block, err)
 		}
 		if cap(rd.payload) < int(payloadLen) {
@@ -412,11 +438,21 @@ func (rd *BinaryReader) loadBlock() error {
 		}
 		rd.payload = rd.payload[:payloadLen]
 		if _, err := io.ReadFull(rd.br, rd.payload); err != nil {
+			if recCount == 0 && eofish(err) {
+				rd.noteAux(fmt.Errorf("trace: block %d: truncated record-free block: %w", rd.block, err))
+				return io.EOF
+			}
 			return fmt.Errorf("trace: block %d: truncated payload: %w", rd.block, err)
 		}
 		// Framing is intact from here on, so damage is skippable: the next
 		// block starts right after the payload we already consumed.
 		if crc32.ChecksumIEEE(rd.payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			if recCount == 0 {
+				// Record-free blocks carry auxiliary payloads (the
+				// block-index footer); damage there loses no records.
+				rd.noteAux(fmt.Errorf("trace: block %d: record-free block: %w", rd.block, ErrBlockChecksum))
+				continue
+			}
 			if ok, lerr := rd.badBlock(ErrBlockChecksum); ok {
 				continue
 			} else {
@@ -424,8 +460,7 @@ func (rd *BinaryReader) loadBlock() error {
 			}
 		}
 		if recCount == 0 {
-			// Record-free blocks carry auxiliary payloads (the block-index
-			// footer); their CRC was checked, nothing to decode.
+			// CRC-valid auxiliary payload; nothing to decode.
 			continue
 		}
 		if derr := rd.decodeBlock(rd.payload, int(recCount)); derr != nil {

@@ -183,16 +183,96 @@ func TestShardRangesPartition(t *testing.T) {
 	}
 }
 
-// TestIndexedDamagedFooter: a corrupted footer body is an error, not a
-// silent wrong index.
+// TestIndexedDamagedFooter: a corrupted footer body is never a silent
+// wrong index — the footer is discarded, FooterErr records why, and the
+// index is rebuilt by a frame scan with identical contents.
 func TestIndexedDamagedFooter(t *testing.T) {
 	h, recs := sampleRecords(t)
-	data := encodeIndexed(t, &h, recs, 2)
+	clean := encodeIndexed(t, &h, recs, 2)
+	want, err := NewIndexedBytes(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), clean...)
 	// Flip a bit inside the footer body (just before the trailer's
 	// footerLen field), leaving the trailer magic intact.
 	data[len(data)-trailerLen-2] ^= 0x01
-	if _, err := NewIndexedBytes(data); err == nil {
-		t.Fatal("damaged footer accepted")
+	tr, err := NewIndexedBytes(data)
+	if err != nil {
+		t.Fatalf("damaged footer did not fall back to a scan: %v", err)
+	}
+	if tr.HasFooter() {
+		t.Fatal("damaged footer accepted as a footer")
+	}
+	if tr.FooterErr() == nil {
+		t.Fatal("fallback left no FooterErr")
+	}
+	wix, gix := want.Index(), tr.Index()
+	if gix.Records != wix.Records || gix.NumBlocks() != wix.NumBlocks() {
+		t.Fatalf("scan index %+v != footer index %+v", gix, wix)
+	}
+	for i := range wix.Offsets {
+		if gix.Offsets[i] != wix.Offsets[i] || gix.Counts[i] != wix.Counts[i] {
+			t.Fatalf("block %d: scan (%d,%d) != footer (%d,%d)",
+				i, gix.Offsets[i], gix.Counts[i], wix.Offsets[i], wix.Counts[i])
+		}
+	}
+	got, err := ReadSource(tr.Source(0, tr.NumBlocks(), DecodeOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+}
+
+// TestSerialReaderAuxDamage: the serial reader reads every record of a
+// trace whose footer block is damaged or torn, recording the damage out
+// of band through AuxDamage — in strict mode, with no bad lines charged.
+func TestSerialReaderAuxDamage(t *testing.T) {
+	h, recs := sampleRecords(t)
+	clean := encodeIndexed(t, &h, recs, 2)
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"bad-footer-crc", func(b []byte) []byte {
+			b[len(b)-trailerLen-2] ^= 0x01
+			return b
+		}},
+		{"torn-footer", func(b []byte) []byte {
+			return b[:len(b)-trailerLen-4]
+		}},
+		{"truncated-trailer", func(b []byte) []byte {
+			return b[:len(b)-3]
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mut(append([]byte(nil), clean...))
+			rd := NewBinaryReader(bytes.NewReader(data))
+			got, err := rd.ReadAll()
+			if err != nil {
+				t.Fatalf("strict read with damaged footer: %v", err)
+			}
+			if len(got) != len(recs) {
+				t.Fatalf("got %d records, want %d", len(got), len(recs))
+			}
+			if rd.AuxDamage() == nil {
+				t.Fatal("no AuxDamage recorded")
+			}
+			if rd.BadLines() != 0 {
+				t.Fatalf("BadLines = %d, want 0 (aux damage is out of band)", rd.BadLines())
+			}
+
+			// Parallel decode keeps the same no-error semantics.
+			_, _, pgot, err := DecodeBytes(data, DecodeOptions{}, 4)
+			if err != nil {
+				t.Fatalf("parallel decode with damaged footer: %v", err)
+			}
+			if len(pgot) != len(recs) {
+				t.Fatalf("parallel got %d records, want %d", len(pgot), len(recs))
+			}
+		})
 	}
 }
 

@@ -17,12 +17,13 @@ import (
 
 // IndexedTrace is a binary trace opened for random block access.
 type IndexedTrace struct {
-	data   []byte
-	unmap  func() error
-	header Header
-	hasHdr bool
-	index  BlockIndex
-	footer bool // index came from a footer rather than a scan
+	data      []byte
+	unmap     func() error
+	header    Header
+	hasHdr    bool
+	index     BlockIndex
+	footer    bool  // index came from a footer rather than a scan
+	footerErr error // why the footer was unusable (damage), nil otherwise
 }
 
 // parseBinaryPreamble decodes the fixed preamble of an in-memory binary
@@ -85,14 +86,21 @@ func NewIndexedBytes(data []byte) (*IndexedTrace, error) {
 	t := &IndexedTrace{data: data, header: h, hasHdr: hasHdr}
 	ix, err := parseFooter(data)
 	if err != nil {
-		return nil, err
+		// The footer is an optimization over data blocks that are still
+		// intact, so footer damage degrades to a frame scan, not failure.
+		t.footerErr = err
+		ix = nil
 	}
 	if ix != nil {
 		for i, off := range ix.Offsets {
 			if off < int64(len(data)-len(body)) {
-				return nil, fmt.Errorf("trace: block-index footer: offset %d inside preamble in entry %d", off, i)
+				t.footerErr = fmt.Errorf("trace: block-index footer: offset %d inside preamble in entry %d", off, i)
+				ix = nil
+				break
 			}
 		}
+	}
+	if ix != nil {
 		t.index = *ix
 		t.footer = true
 		return t, nil
@@ -129,6 +137,15 @@ func (t *IndexedTrace) scanIndex(p []byte, off int64) error {
 			return fmt.Errorf("trace: block %d: record count %d exceeds payload %d", ord, recCount, payloadLen)
 		}
 		if len(p) < 4+int(payloadLen) {
+			if recCount == 0 {
+				// A record-free auxiliary block (e.g. the block-index
+				// footer) torn off at the end of the file: every data
+				// block scanned so far is intact, so salvage them.
+				if t.footerErr == nil {
+					t.footerErr = fmt.Errorf("trace: block %d: truncated record-free block: %w", ord, io.ErrUnexpectedEOF)
+				}
+				return nil
+			}
 			return fmt.Errorf("trace: block %d: truncated payload: %w", ord, io.ErrUnexpectedEOF)
 		}
 		p = p[4+payloadLen:]
@@ -164,6 +181,12 @@ func (t *IndexedTrace) HasHeader() bool { return t.hasHdr }
 // HasFooter reports whether the index came from a writer-emitted footer
 // (false means it was rebuilt by a frame scan).
 func (t *IndexedTrace) HasFooter() bool { return t.footer }
+
+// FooterErr returns why a present-but-damaged block-index footer was
+// discarded in favor of a frame scan (nil for a healthy footer or an
+// unindexed trace). The index is still fully usable; the error exists so
+// diagnostics like glcheck can surface the damage.
+func (t *IndexedTrace) FooterErr() error { return t.footerErr }
 
 // NumBlocks returns how many data blocks the trace holds.
 func (t *IndexedTrace) NumBlocks() int { return t.index.NumBlocks() }

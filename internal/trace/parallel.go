@@ -183,6 +183,12 @@ func decodeBinaryBytes(data []byte, opts DecodeOptions, workers int) (Header, bo
 	bad := 0
 	for i := range blocks {
 		b := &blocks[i]
+		if b.aux {
+			// Auxiliary record-free blocks lose no records when damaged;
+			// the serial reader records the damage out of band and keeps
+			// going, so a CRC failure here is not a decode error either.
+			continue
+		}
 		if b.err == nil {
 			if w != offs[i] {
 				copy(big[w:], b.recs)

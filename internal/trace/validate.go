@@ -43,6 +43,7 @@ const (
 	CodeSymRef   = "symref"    // symbol-table referential integrity
 	CodeNoHeader = "no-header" // trace has no START line at all
 	CodeBlock    = "block"     // binary trace: damaged or unreadable block
+	CodeFooter   = "footer"    // binary trace: damaged block-index footer (records intact)
 )
 
 // Diag is one validator finding.
@@ -229,6 +230,13 @@ func Validate(r io.Reader, opts ValidateOptions) (*Report, error) {
 		v.check(lineOf(), &rec, opts.SkipRegionChecks)
 	}
 	rep.BadLines = rd.BadLines()
+	if br, ok := rd.(*BinaryReader); ok {
+		if aerr := br.AuxDamage(); aerr != nil {
+			// Footer damage loses no records (readers fall back to a frame
+			// scan), so it degrades the trace rather than corrupting it.
+			rep.add(0, SevWarn, CodeFooter, "damaged block-index footer ignored (records intact): %v", aerr)
+		}
+	}
 	// A corrupt START already produced a header finding; only flag traces
 	// that never attempted a header at all.
 	if !rep.HasHeader && !sawBadHeader && rep.Records > 0 {

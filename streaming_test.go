@@ -9,6 +9,8 @@ package tracedst_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -129,6 +131,37 @@ func TestShardedStreamingGoldenAllWorkloads(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestShardedSimulateCancel: a cancelled context stops every shard worker
+// with the context's error instead of a partial result — the cooperative
+// half of SIGTERM handling (the signal just cancels this context).
+func TestShardedSimulateCancel(t *testing.T) {
+	recs := traceWorkload(t, "matmul")
+	data := encodeIndexedTrace(t, recs, 64)
+	tr, err := trace.NewIndexedBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = dinero.SimulateShardedContext(ctx, tr, dinero.Options{L1: goldenConfigs[0]}, 2, trace.DecodeOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// An uncancelled context changes nothing about the result.
+	res, err := dinero.SimulateShardedContext(context.Background(), tr, dinero.Options{L1: goldenConfigs[0]}, 2, trace.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := dinero.SimulateSharded(tr, dinero.Options{L1: goldenConfigs[0]}, 2, trace.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim.Report() != plain.Sim.Report() {
+		t.Fatal("context-threaded sharded run diverges from plain run")
 	}
 }
 
