@@ -17,7 +17,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -101,9 +100,9 @@ func main() {
 	case *shards != 0:
 		// SIGINT/SIGTERM cancel the shard context: every worker stops at
 		// its next record batch instead of the process dying mid-merge.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		ctx, stop := signal.NotifyContext(obs.Ctx, os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		sp := obs.Reg.StartSpan("dinero/simulate-sharded")
+		sp, _ := obs.Reg.StartSpanCtx(ctx, "dinero/simulate-sharded")
 		tr, err := trace.OpenIndexed(fs.Arg(0))
 		if err != nil {
 			obs.Fatal(err)
@@ -125,12 +124,12 @@ func main() {
 		if err != nil {
 			obs.Fatal(err)
 		}
-		sp := obs.Reg.StartSpan("dinero/simulate-stream")
-		ts, err := cliutil.OpenTraceSource(fs.Arg(0), tf.Options())
+		sp, sctx := obs.Reg.StartSpanCtx(obs.Ctx, "dinero/simulate-stream")
+		ts, err := cliutil.OpenTraceSourceCtx(sctx, fs.Arg(0), tf.Options())
 		if err != nil {
 			obs.Fatal(err)
 		}
-		serr := sim.ProcessSource(ts)
+		serr := sim.ProcessSourceCtx(sctx, ts)
 		cerr := ts.Close()
 		sp.End()
 		if serr != nil {
@@ -145,13 +144,13 @@ func main() {
 		if err != nil {
 			obs.Fatal(err)
 		}
-		sp := obs.Reg.StartSpan("dinero/load")
+		sp, _ := obs.Reg.StartSpanCtx(obs.Ctx, "dinero/load")
 		_, _, recs, err := cliutil.LoadTraceOpts(fs.Arg(0), tf.Options())
 		sp.End()
 		if err != nil {
 			obs.Fatal(err)
 		}
-		sp = obs.Reg.StartSpan("dinero/simulate")
+		sp, _ = obs.Reg.StartSpanCtx(obs.Ctx, "dinero/simulate")
 		sim.Process(recs)
 		sp.End()
 		sim.PublishTelemetry(obs.Reg)
@@ -219,12 +218,12 @@ func runMulti(path string, opts dinero.Options, specs []string, specFile string,
 		obs.Fatal(err)
 	}
 	if stream {
-		sp := obs.Reg.StartSpan("dinero/simulate-stream")
-		ts, err := cliutil.OpenTraceSource(path, tf.Options())
+		sp, sctx := obs.Reg.StartSpanCtx(obs.Ctx, "dinero/simulate-stream")
+		ts, err := cliutil.OpenTraceSourceCtx(sctx, path, tf.Options())
 		if err != nil {
 			obs.Fatal(err)
 		}
-		serr := ms.ProcessSource(ts)
+		serr := ms.ProcessSourceCtx(sctx, ts)
 		cerr := ts.Close()
 		sp.End()
 		if serr != nil {
@@ -234,13 +233,13 @@ func runMulti(path string, opts dinero.Options, specs []string, specFile string,
 			obs.Fatal(cerr)
 		}
 	} else {
-		sp := obs.Reg.StartSpan("dinero/load")
+		sp, _ := obs.Reg.StartSpanCtx(obs.Ctx, "dinero/load")
 		_, _, recs, err := cliutil.LoadTraceOpts(path, tf.Options())
 		sp.End()
 		if err != nil {
 			obs.Fatal(err)
 		}
-		sp = obs.Reg.StartSpan("dinero/simulate")
+		sp, _ = obs.Reg.StartSpanCtx(obs.Ctx, "dinero/simulate")
 		ms.Process(recs)
 		sp.End()
 	}

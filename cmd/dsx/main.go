@@ -39,6 +39,7 @@ func main() {
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	of := cliutil.NewObsFlags(fs, "dsx")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	var err error

@@ -44,6 +44,7 @@ func main() {
 	tf := cliutil.NewTraceFlags(fs, "dsxform")
 	tf.AddFormatFlag(fs)
 	of := cliutil.NewObsFlags(fs, "dsxform")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	var err error

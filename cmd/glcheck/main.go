@@ -31,6 +31,7 @@ func main() {
 	maxLine := fs.Int("max-line-bytes", 0, "maximum trace line length in bytes (0 = 1 MiB default)")
 	noRegions := fs.Bool("no-region-checks", false, "skip memmodel address-region checks (traces from real binaries)")
 	of := cliutil.NewObsFlags(fs, "glcheck")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	obs, err := of.Start()

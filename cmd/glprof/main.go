@@ -29,6 +29,7 @@ func main() {
 	block := fs.Int64("bsize", 32, "block size for reuse-distance profiling")
 	tf := cliutil.NewTraceFlags(fs, "glprof")
 	of := cliutil.NewObsFlags(fs, "glprof")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	var err error

@@ -38,6 +38,7 @@ func main() {
 	defines := cliutil.Defines{}
 	fs.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
 	of := cliutil.NewObsFlags(fs, "gltrace")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	var err error

@@ -27,6 +27,7 @@ func main() {
 	noSym := fs.Bool("nosym", false, "include unannotated records as a (nosym) series")
 	tf := cliutil.NewTraceFlags(fs, "setplot")
 	of := cliutil.NewObsFlags(fs, "setplot")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	obs, err := of.Start()

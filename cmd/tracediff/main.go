@@ -24,6 +24,7 @@ func main() {
 	statsOnly := fs.Bool("stats-only", false, "print only the summary")
 	tf := cliutil.NewTraceFlags(fs, "tracediff")
 	of := cliutil.NewObsFlags(fs, "tracediff")
+	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
 
 	obs, err := of.Start()

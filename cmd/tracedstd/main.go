@@ -36,6 +36,7 @@ import (
 	"tracedst/internal/cliutil"
 	"tracedst/internal/experiments"
 	"tracedst/internal/server"
+	"tracedst/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs to checkpoint")
 	heartbeat := fs.Duration("heartbeat", 10*time.Second, "SSE keep-alive interval")
 	throttle := fs.Duration("throttle", 0, "sleep between record batches of every job (debug aid: makes drain timing deterministic)")
+	pprofHTTP := fs.Bool("pprof-http", false, "mount net/http/pprof under /debug/pprof/ on the API listener")
+	runtimeMetrics := fs.Duration("runtime-metrics", telemetry.DefaultRuntimeSampleInterval, "runtime gauge sampling interval (goroutines, heap, GC); 0 disables")
 	cf := cliutil.NewCacheFlags(fs, "l1", "32k", 32, 1)
 	of := cliutil.NewObsFlags(fs, "tracedstd")
 	of.AddProfileFlags(fs)
@@ -89,12 +92,18 @@ func main() {
 			TaskTimeout: *taskTimeout,
 			Retries:     *retries,
 		},
-		BaseConfig: baseCfg,
-		Reg:        obs.Reg,
-		Log:        obs.Log,
+		BaseConfig:  baseCfg,
+		Reg:         obs.Reg,
+		Exporter:    obs.Spans,
+		EnablePprof: *pprofHTTP,
+		Log:         obs.Log,
 	})
 	if err != nil {
 		obs.Fatal(err)
+	}
+	if *runtimeMetrics > 0 {
+		stopSampler := telemetry.StartRuntimeSampler(obs.Reg, *runtimeMetrics)
+		defer stopSampler()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

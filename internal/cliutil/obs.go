@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -24,6 +25,7 @@ type ObsFlags struct {
 	verbose    *bool
 	logFormat  *string
 	metricsOut *string
+	traceOut   *string
 	progress   *time.Duration
 	pprofAddr  *string
 	cpuProfile *string
@@ -38,6 +40,7 @@ func NewObsFlags(fs *flag.FlagSet, tool string) *ObsFlags {
 		verbose:    fs.Bool("v", false, "verbose: emit debug events (per-phase spans, rates)"),
 		logFormat:  fs.String("log-format", telemetry.FormatText, "log sink format: text | json (one JSON object per stderr line)"),
 		metricsOut: fs.String("metrics-out", "", "write the end-of-run metrics manifest (JSON) to this file (- for stdout)"),
+		traceOut:   fs.String("trace-out", "", "export completed spans as JSONL to this file (atomic rename; enables trace-ID propagation — see tools/spanview)"),
 		progress:   fs.Duration("progress", 0, "emit a progress line with ETA at this interval during batch runs (0 = off)"),
 	}
 }
@@ -57,7 +60,16 @@ type Obs struct {
 	Tool string
 	Log  *slog.Logger
 	Reg  *telemetry.Registry
+	// Ctx is the tool's base context: when -trace-out is set it carries a
+	// fresh trace rooted at a span named after the tool, so stage spans
+	// started with StartSpanCtx(obs.Ctx, ...) form one tree in the export.
+	// Without -trace-out it is context.Background() and ctx-aware spans
+	// cost the same as plain ones.
+	Ctx context.Context
+	// Spans is the JSONL exporter behind -trace-out (nil when unset).
+	Spans *telemetry.SpanExporter
 
+	root       *telemetry.Span
 	metricsOut string
 	memProfile string
 	cpuFile    *os.File
@@ -77,11 +89,18 @@ func (of *ObsFlags) Start() (*Obs, error) {
 		Tool:       of.tool,
 		Log:        log,
 		Reg:        telemetry.NewRegistry(),
+		Ctx:        context.Background(),
 		metricsOut: *of.metricsOut,
 	}
 	telemetry.SetLogger(log)
 	telemetry.SetDefault(o.Reg)
 	telemetry.SetProgressInterval(*of.progress)
+
+	if *of.traceOut != "" {
+		o.Spans = telemetry.NewSpanExporter(*of.traceOut)
+		ctx := telemetry.ContextWithTrace(o.Ctx, o.Spans, telemetry.NewTraceID())
+		o.root, o.Ctx = o.Reg.StartSpanCtx(ctx, of.tool)
+	}
 
 	if of.pprofAddr != nil && *of.pprofAddr != "" {
 		ln, err := net.Listen("tcp", *of.pprofAddr)
@@ -134,6 +153,15 @@ func (o *Obs) Close() error {
 	if o.pprofLn != nil {
 		o.pprofLn.Close()
 		o.pprofLn = nil
+	}
+	if o.root != nil {
+		o.root.End()
+		o.root = nil
+	}
+	if o.Spans != nil {
+		if err := o.Spans.Flush(); err != nil && first == nil {
+			first = err
+		}
 	}
 	if o.metricsOut != "" {
 		if err := o.Reg.Snapshot(o.Tool).WriteFile(o.metricsOut); err != nil && first == nil {

@@ -7,8 +7,10 @@
 package cliutil
 
 import (
+	"context"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"tracedst/internal/telemetry"
@@ -37,6 +39,7 @@ type TraceStream struct {
 	in      io.ReadCloser
 	cr      *countingReader
 	format  trace.FileFormat
+	span    *telemetry.Span // non-nil when opened with OpenTraceSourceCtx
 	records int64
 	batches int64
 	closed  bool
@@ -57,6 +60,20 @@ func OpenTraceSource(path string, opts trace.DecodeOptions) (*TraceStream, error
 		return nil, err
 	}
 	return &TraceStream{src: src, in: in, cr: cr, format: format}, nil
+}
+
+// OpenTraceSourceCtx is OpenTraceSource with a "trace.decode.stream" span
+// covering the stream's lifetime (open to Close): when ctx carries a
+// trace the span joins its tree — tagged with format, records and bytes —
+// and the per-name aggregate is recorded either way.
+func OpenTraceSourceCtx(ctx context.Context, path string, opts trace.DecodeOptions) (*TraceStream, error) {
+	ts, err := OpenTraceSource(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	ts.span, _ = telemetry.Default().StartSpanCtx(ctx, "trace.decode.stream")
+	ts.span.SetAttr("format", ts.format.String())
+	return ts, nil
 }
 
 // Format returns the sniffed container format.
@@ -100,6 +117,12 @@ func (ts *TraceStream) Close() error {
 	reg.Counter("trace.decode.records").Add(ts.records)
 	reg.Counter("trace.decode.records." + ts.format.String()).Add(ts.records)
 	reg.Counter("trace.stream.batches").Add(ts.batches)
+	if ts.span != nil {
+		ts.span.SetAttr("records", strconv.FormatInt(ts.records, 10))
+		ts.span.SetAttr("bytes", strconv.FormatInt(ts.cr.n, 10))
+		ts.span.End()
+		ts.span = nil
+	}
 	return ts.in.Close()
 }
 

@@ -14,8 +14,10 @@
 package dinero
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"tracedst/internal/cache"
@@ -270,6 +272,17 @@ func (s *Simulator) ProcessReader(rd *trace.Reader) error {
 		}
 		s.Feed(&rec)
 	}
+}
+
+// ProcessSourceCtx is ProcessSource wrapped in a "dinero.simulate" span:
+// when ctx carries a trace the span joins its tree, tagged with the record
+// count, and the per-name aggregate is recorded either way.
+func (s *Simulator) ProcessSourceCtx(ctx context.Context, src trace.RecordSource) error {
+	sp, _ := telemetry.Default().StartSpanCtx(ctx, "dinero.simulate")
+	err := s.ProcessSource(src)
+	sp.SetAttr("records", strconv.FormatInt(s.Records(), 10))
+	sp.End()
+	return err
 }
 
 // ProcessSource streams record batches from src until EOF, holding only

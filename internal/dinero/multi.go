@@ -1,8 +1,10 @@
 package dinero
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 
 	"tracedst/internal/cache"
 	"tracedst/internal/telemetry"
@@ -300,6 +302,18 @@ func (m *MultiSim) ProcessReader(rd *trace.Reader) error {
 		}
 		m.Feed(&rec)
 	}
+}
+
+// ProcessSourceCtx is ProcessSource wrapped in a "dinero.multisim" span:
+// when ctx carries a trace the span joins its tree, tagged with the fed
+// record and configuration counts.
+func (m *MultiSim) ProcessSourceCtx(ctx context.Context, src trace.RecordSource) error {
+	sp, _ := telemetry.Default().StartSpanCtx(ctx, "dinero.multisim")
+	err := m.ProcessSource(src)
+	sp.SetAttr("records", strconv.FormatInt(m.Records(), 10))
+	sp.SetAttr("configs", strconv.Itoa(m.NumConfigs()))
+	sp.End()
+	return err
 }
 
 // ProcessSource streams record batches from src until EOF, holding only

@@ -26,7 +26,7 @@ func TestDrainRestartResume(t *testing.T) {
 		Workers:    1,
 		RatePerSec: -1,
 		Reg:        telemetry.NewRegistry(),
-		Throttle: 20 * time.Millisecond, // job takes ~2.5s: drain catches it mid-run
+		Throttle:   20 * time.Millisecond, // job takes ~2.5s: drain catches it mid-run
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestDrainPersistsQueuedState(t *testing.T) {
 		Workers:    1,
 		RatePerSec: -1,
 		Reg:        telemetry.NewRegistry(),
-		Throttle: 20 * time.Millisecond,
+		Throttle:   20 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)

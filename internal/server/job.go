@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"tracedst/internal/dinero"
 	"tracedst/internal/experiments"
 	"tracedst/internal/rules"
+	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 	"tracedst/internal/xform"
 )
@@ -69,9 +72,45 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Report is the rendered simulator report (done jobs only).
 	Report string `json:"report,omitempty"`
+	// TraceID is the job's distributed-tracing identity: taken from the
+	// upload's traceparent/X-Request-ID or freshly assigned, echoed in the
+	// X-Trace-ID response header, and stamped on every span the job emits.
+	TraceID string `json:"trace_id,omitempty"`
+	// ParentSpan is the remote parent span from an incoming traceparent,
+	// so the job's spans graft onto the caller's trace.
+	ParentSpan string `json:"parent_span,omitempty"`
+	// Resources is the job's resource accounting: live (sampled) while
+	// running, final once terminal. Cleared on a drain revert.
+	Resources *JobResources `json:"resources,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// JobResources accounts one job's execution cost. CPU time is the
+// process-wide clock delta over the job's run — exact when workers run one
+// job at a time, an upper bound under concurrency. Heap numbers come from
+// periodic runtime sampling, so the peak is a floor (a spike between
+// samples can escape it).
+type JobResources struct {
+	// WallNS is elapsed wall time (so far, while running).
+	WallNS int64 `json:"wall_ns"`
+	// CPUNS is the process CPU-time delta (user+system).
+	CPUNS int64 `json:"cpu_ns"`
+	// BytesIn is the spooled upload size being processed.
+	BytesIn int64 `json:"bytes_in"`
+	// Records is how many records have been streamed.
+	Records int64 `json:"records"`
+	// RecordsPerSec is Records over wall time.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// HeapStartBytes is HeapAlloc when the job started.
+	HeapStartBytes int64 `json:"heap_start_bytes"`
+	// HeapPeakBytes is the highest sampled HeapAlloc during the run.
+	HeapPeakBytes int64 `json:"heap_peak_bytes"`
+	// HeapPeakDelta is HeapPeakBytes - HeapStartBytes (floored at 0).
+	HeapPeakDelta int64 `json:"heap_peak_delta_bytes"`
+	// GCRuns is how many GC cycles completed during the run.
+	GCRuns int64 `json:"gc_runs"`
 }
 
 // job is the in-memory runtime around a Job: lock, cancel handle, live
@@ -123,14 +162,38 @@ func (s *Server) runJob(j *job) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	j.State = StateRunning
 	j.cancel = cancel
+	traceID, parentSpan := j.TraceID, j.ParentSpan
+	format, bytes := j.Format, j.Bytes
 	j.mu.Unlock()
 	s.persist(j)
 	s.gauges()
 
-	attempts, err := experiments.RunOne(jctx, s.cfg.Policy, func(ctx context.Context) error {
+	// Root the job's span tree: every stage span started from runCtx
+	// inherits the job's trace ID, the "job" attr, and server.job as its
+	// ancestor. Without an exporter the context stays untraced and the
+	// stages pay nothing extra.
+	runCtx := jctx
+	var root *telemetry.Span
+	if s.cfg.Exporter != nil && traceID != "" {
+		if tid, err := telemetry.ParseTraceID(traceID); err == nil {
+			parent := telemetry.SpanID{}
+			if parentSpan != "" {
+				parent, _ = telemetry.ParseSpanID(parentSpan)
+			}
+			tctx := telemetry.ContextWithRemoteParent(jctx, s.cfg.Exporter, tid, parent)
+			tctx = telemetry.ContextWithAttrs(tctx, "job", j.ID)
+			root, runCtx = s.reg.StartSpanCtx(tctx, "server.job")
+			root.SetAttr("format", format)
+			root.SetAttr("bytes", strconv.FormatInt(bytes, 10))
+		}
+	}
+	acct := startJobAccounting(j)
+
+	attempts, err := experiments.RunOne(runCtx, s.cfg.Policy, func(ctx context.Context) error {
 		return s.execute(ctx, j)
 	})
 	cancel()
+	acct.stop()
 
 	j.mu.Lock()
 	j.Attempts = attempts
@@ -139,6 +202,10 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.State = StateDone
 		j.Finished = s.cfg.now()
+		if j.Resources != nil {
+			s.reg.Histogram("server.job_wall_ns").Observe(j.Resources.WallNS)
+			s.reg.Counter("server.job_cpu_ns").Add(j.Resources.CPUNS)
+		}
 	case errors.Is(err, context.Canceled) && !j.userCancel && s.baseCtx.Err() != nil:
 		// Graceful drain: revert to queued so the restarted server
 		// re-runs the job; determinism makes the re-run byte-identical.
@@ -146,6 +213,7 @@ func (s *Server) runJob(j *job) {
 		j.Error = ""
 		j.Report = ""
 		j.Records = 0
+		j.Resources = nil
 	case errors.Is(err, context.Canceled):
 		j.State = StateCanceled
 		j.Error = "canceled"
@@ -156,17 +224,125 @@ func (s *Server) runJob(j *job) {
 		j.Finished = s.cfg.now()
 	}
 	terminal := j.State.terminal()
+	state := j.State
 	if terminal {
 		// Count before the state becomes observable, so a client that
 		// polls the job to completion already sees the counter bumped.
 		s.reg.Counter("server.jobs_" + string(j.State)).Inc()
 	}
 	j.mu.Unlock()
+	if root != nil {
+		root.SetAttr("state", string(state))
+		root.SetAttr("attempts", strconv.Itoa(attempts))
+		root.End()
+	}
 	s.persist(j)
 	if terminal {
 		close(j.done)
+		if s.cfg.Exporter != nil {
+			if ferr := s.cfg.Exporter.Flush(); ferr != nil {
+				s.log.Error("span export flush failed", "job", j.ID, "err", ferr)
+			}
+		}
 	}
 	s.gauges()
+}
+
+// jobAccountingInterval is the resource-sampling cadence while a job
+// runs: frequent enough that SSE watchers see live numbers, cheap enough
+// (one ReadMemStats per tick) to vanish against simulation cost.
+const jobAccountingInterval = 250 * time.Millisecond
+
+// jobAccountant samples one running job's resource usage into
+// j.Resources until stopped.
+type jobAccountant struct {
+	j     *job
+	start time.Time
+	cpu0  time.Duration
+	heap0 int64
+	gc0   int64
+	peak  int64
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// startJobAccounting baselines the process and begins sampling. Call
+// stop exactly once when the attempt finishes; j.Resources then holds
+// the final accounting.
+func startJobAccounting(j *job) *jobAccountant {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	a := &jobAccountant{
+		j:     j,
+		start: time.Now(),
+		cpu0:  telemetry.ProcessCPU(),
+		heap0: int64(ms.HeapAlloc),
+		gc0:   int64(ms.NumGC),
+		peak:  int64(ms.HeapAlloc),
+		done:  make(chan struct{}),
+	}
+	a.publish(&ms)
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		t := time.NewTicker(jobAccountingInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.done:
+				return
+			case <-t.C:
+				a.publish(nil)
+			}
+		}
+	}()
+	return a
+}
+
+// publish takes one sample and swaps a fresh JobResources onto the job —
+// fresh, not mutated in place, so a concurrent serializer holding the
+// previous pointer never sees it change underneath.
+func (a *jobAccountant) publish(ms *runtime.MemStats) {
+	if ms == nil {
+		ms = new(runtime.MemStats)
+		runtime.ReadMemStats(ms)
+	}
+	if h := int64(ms.HeapAlloc); h > a.peak {
+		a.peak = h
+	}
+	wall := time.Since(a.start)
+	res := &JobResources{
+		WallNS:         wall.Nanoseconds(),
+		CPUNS:          max64(int64(telemetry.ProcessCPU()-a.cpu0), 0),
+		Records:        a.j.progress.Load(),
+		HeapStartBytes: a.heap0,
+		HeapPeakBytes:  a.peak,
+		GCRuns:         max64(int64(ms.NumGC)-a.gc0, 0),
+	}
+	if d := res.HeapPeakBytes - res.HeapStartBytes; d > 0 {
+		res.HeapPeakDelta = d
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		res.RecordsPerSec = float64(res.Records) / sec
+	}
+	a.j.mu.Lock()
+	res.BytesIn = a.j.Bytes
+	a.j.Resources = res
+	a.j.mu.Unlock()
+}
+
+// stop ends the sampler and takes the final sample.
+func (a *jobAccountant) stop() {
+	close(a.done)
+	a.wg.Wait()
+	a.publish(nil)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // execute is one attempt of the decode → validate → xform → dinero
@@ -184,7 +360,7 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	if err != nil {
 		return err
 	}
-	rep, verr := trace.Validate(f, trace.ValidateOptions{SkipRegionChecks: true})
+	rep, verr := trace.ValidateCtx(ctx, f, trace.ValidateOptions{SkipRegionChecks: true})
 	f.Close()
 	if verr != nil {
 		return verr
@@ -219,12 +395,14 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	if err != nil {
 		return err
 	}
-	ts, err := cliutil.OpenTraceSource(path, trace.DecodeOptions{})
+	ts, err := cliutil.OpenTraceSourceCtx(ctx, path, trace.DecodeOptions{})
 	if err != nil {
 		return err
 	}
 	defer ts.Close()
 	var src trace.RecordSource = &jobSource{ctx: ctx, src: ts, progress: &j.progress, delay: s.cfg.Throttle}
+	simCtx := ctx
+	var xsp *telemetry.Span
 	if j.Rule != "" {
 		rule, err := rules.Parse(j.Rule)
 		if err != nil {
@@ -235,9 +413,17 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 			return err
 		}
 		src = &xformSource{src: src, eng: eng}
+		// The xform span covers the simulation drive: the engine runs
+		// lazily inside each NextBatch the simulator pulls.
+		xsp, simCtx = telemetry.Default().StartSpanCtx(ctx, "xform.stream")
 	}
-	if err := sim.ProcessSource(src); err != nil {
-		return err
+	serr := sim.ProcessSourceCtx(simCtx, src)
+	if xsp != nil {
+		xsp.SetAttr("records_out", strconv.FormatInt(sim.Records(), 10))
+		xsp.End()
+	}
+	if serr != nil {
+		return serr
 	}
 
 	j.mu.Lock()

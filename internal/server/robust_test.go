@@ -261,7 +261,7 @@ func TestConcurrentOverloadShedsCleanly(t *testing.T) {
 		QueueDepth: 2,
 		RatePerSec: -1,
 		Reg:        reg,
-		Throttle: 5 * time.Millisecond,
+		Throttle:   5 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -16,9 +16,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,6 +66,13 @@ type Config struct {
 	BaseConfig cache.Config
 	// Reg receives server telemetry (default telemetry.Default()).
 	Reg *telemetry.Registry
+	// Exporter receives completed span events for every traced job (nil
+	// disables span export; trace IDs are still assigned and echoed).
+	Exporter *telemetry.SpanExporter
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// handler. Off by default: the profiling endpoints expose internals
+	// and should only face operators.
+	EnablePprof bool
 	// Log receives structured logs (default: discard).
 	Log *slog.Logger
 	// Throttle sleeps this long between record batches of every job — a
@@ -279,6 +288,13 @@ func (s *Server) Handler() http.Handler {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -287,6 +303,27 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]any{"error": fmt.Sprintf(format, args...), "status": status})
+}
+
+// requestTrace resolves the trace identity of an upload: a W3C
+// traceparent header wins (carrying the remote parent span), then an
+// X-Request-ID — used verbatim when it already is a 32-hex trace ID,
+// hashed into one otherwise — and a fresh random ID when the client sent
+// neither. Every job therefore has a trace ID, whether or not the caller
+// participates in distributed tracing.
+func requestTrace(r *http.Request) (telemetry.TraceID, telemetry.SpanID) {
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if tid, sid, err := telemetry.ParseTraceparent(tp); err == nil {
+			return tid, sid
+		}
+	}
+	if rid := r.Header.Get("X-Request-ID"); rid != "" {
+		if tid, err := telemetry.ParseTraceID(rid); err == nil {
+			return tid, telemetry.SpanID{}
+		}
+		return telemetry.DeriveTraceID(rid), telemetry.SpanID{}
+	}
+	return telemetry.NewTraceID(), telemetry.SpanID{}
 }
 
 // clientKey identifies the client for rate limiting: the X-Client-ID
@@ -406,6 +443,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	tid, parentSpan := requestTrace(r)
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
 	j := &job{
@@ -416,9 +454,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			ConfigSpec: configSpec,
 			Rule:       ruleSrc,
 			Bytes:      n,
+			TraceID:    tid.String(),
 			Submitted:  s.cfg.now().UTC(),
 		},
 		done: make(chan struct{}),
+	}
+	if !parentSpan.IsZero() {
+		j.ParentSpan = parentSpan.String()
 	}
 	if err := os.Rename(tmpName, s.spoolPath(id)); err != nil {
 		s.seq--
@@ -443,8 +485,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.persist(j)
 	s.reg.Counter("server.uploads").Inc()
 	s.gauges()
-	s.log.Info("job accepted", "job", id, "bytes", n, "format", j.Format)
+	s.log.Info("job accepted", "job", id, "bytes", n, "format", j.Format, "trace", j.TraceID)
 
+	w.Header().Set("X-Trace-ID", j.TraceID)
 	if r.URL.Query().Get("wait") != "" {
 		s.waitForJob(w, r, j)
 		return
@@ -556,18 +599,52 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	state, report := j.State, j.Report
+	rec := j.Job
 	j.mu.Unlock()
-	if state != StateDone {
-		httpError(w, http.StatusConflict, "job is %s, report only exists once done", state)
+	if rec.State != StateDone {
+		httpError(w, http.StatusConflict, "job is %s, report only exists once done", rec.State)
+		return
+	}
+	// ?format=json (or an Accept asking for JSON) returns the full job
+	// record — report inline plus trace ID and resource accounting — for
+	// machine consumers; the default stays the plain-text report.
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, rec)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, report)
+	io.WriteString(w, rec.Report)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// wantPrometheus decides the /metrics representation: ?format=prom (or
+// prometheus) forces the text exposition, ?format=json forces JSON, and
+// with no format parameter an Accept header naming openmetrics or
+// text/plain opts in. The default — including curl's Accept: */* — stays
+// the JSON snapshot, so existing scrapers are unaffected.
+func wantPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "":
+	default:
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.gauges()
+	if wantPrometheus(r) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		if err := s.reg.WritePrometheus(w, "tracedstd"); err != nil {
+			s.log.Error("metrics write failed", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := s.reg.Snapshot("tracedstd").WriteTo(w); err != nil {
 		s.log.Error("metrics write failed", "err", err)

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"tracedst/internal/telemetry"
+	"tracedst/internal/workloads"
+)
+
+// submitTraced POSTs body with extra headers and decodes the job view.
+func submitTraced(t *testing.T, base, query string, body []byte, headers map[string]string) (jobView, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/jobs"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v, resp
+}
+
+// TestJobTraceEndToEnd is the tentpole acceptance check: one upload's
+// trace ID must appear on every stage span of its pipeline run, the
+// spans must chain into a tree rooted at server.job, and the job must
+// carry resource accounting.
+func TestJobTraceEndToEnd(t *testing.T) {
+	exp := telemetry.NewSpanExporter("")
+	_, ts, _ := newTestServer(t, func(c *Config) { c.Exporter = exp })
+	upload := encodeGLB(t, workloadRecords(5000), 256)
+
+	v, _ := submitTraced(t, ts.URL, "?wait=1&rule="+url.QueryEscape(workloads.RuleTrans1), upload,
+		map[string]string{"X-Request-ID": "req-e2e-1"})
+	if v.State != StateDone {
+		t.Fatalf("job state %s (%s)", v.State, v.Error)
+	}
+	wantTrace := telemetry.DeriveTraceID("req-e2e-1").String()
+	if v.TraceID != wantTrace {
+		t.Fatalf("trace_id %s, want derived %s", v.TraceID, wantTrace)
+	}
+	if v.Resources == nil {
+		t.Fatal("job has no resource accounting")
+	}
+	if v.Resources.BytesIn != int64(len(upload)) {
+		t.Fatalf("resources.bytes_in %d, want %d", v.Resources.BytesIn, len(upload))
+	}
+	if v.Resources.Records <= 0 || v.Resources.WallNS <= 0 {
+		t.Fatalf("resources not accounted: %+v", v.Resources)
+	}
+	if v.Resources.HeapPeakBytes < v.Resources.HeapStartBytes {
+		t.Fatalf("heap peak %d below start %d", v.Resources.HeapPeakBytes, v.Resources.HeapStartBytes)
+	}
+
+	events := exp.Events()
+	byName := map[string]telemetry.SpanEvent{}
+	for _, ev := range events {
+		if ev.Trace != wantTrace {
+			t.Fatalf("span %s carries trace %s, want %s", ev.Name, ev.Trace, wantTrace)
+		}
+		if ev.Attrs["job"] != v.ID {
+			t.Fatalf("span %s: job attr %q, want %q", ev.Name, ev.Attrs["job"], v.ID)
+		}
+		byName[ev.Name] = ev
+	}
+	for _, name := range []string{"server.job", "validate.trace", "trace.decode.stream", "xform.stream", "dinero.simulate"} {
+		if _, ok := byName[name]; !ok {
+			names := make([]string, 0, len(events))
+			for _, ev := range events {
+				names = append(names, ev.Name)
+			}
+			t.Fatalf("no %s span in export (have %v)", name, names)
+		}
+	}
+	root := byName["server.job"]
+	if root.Parent != "" {
+		t.Fatalf("server.job should be the root, has parent %s", root.Parent)
+	}
+	for _, name := range []string{"validate.trace", "trace.decode.stream", "xform.stream"} {
+		if byName[name].Parent != root.Span {
+			t.Fatalf("%s parent %s, want server.job %s", name, byName[name].Parent, root.Span)
+		}
+	}
+	if byName["dinero.simulate"].Parent != byName["xform.stream"].Span {
+		t.Fatalf("dinero.simulate parent %s, want xform.stream %s",
+			byName["dinero.simulate"].Parent, byName["xform.stream"].Span)
+	}
+	if root.Attrs["state"] != string(StateDone) {
+		t.Fatalf("root state attr %q", root.Attrs["state"])
+	}
+}
+
+func TestSubmitTraceparentJoinsCallerTrace(t *testing.T) {
+	exp := telemetry.NewSpanExporter("")
+	_, ts, _ := newTestServer(t, func(c *Config) { c.Exporter = exp })
+	upload := encodeGLB(t, workloadRecords(500), 128)
+
+	const parentTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parentSpan = "00f067aa0ba902b7"
+	v, resp := submitTraced(t, ts.URL, "?wait=1", upload,
+		map[string]string{"traceparent": "00-" + parentTrace + "-" + parentSpan + "-01"})
+	if v.TraceID != parentTrace {
+		t.Fatalf("trace_id %s, want caller's %s", v.TraceID, parentTrace)
+	}
+	if v.ParentSpan != parentSpan {
+		t.Fatalf("parent_span %s, want %s", v.ParentSpan, parentSpan)
+	}
+	if got := resp.Header.Get("X-Trace-ID"); got != parentTrace {
+		t.Fatalf("X-Trace-ID header %q", got)
+	}
+	for _, ev := range exp.Events() {
+		if ev.Name == "server.job" && ev.Parent != parentSpan {
+			t.Fatalf("server.job parent %s, want remote %s", ev.Parent, parentSpan)
+		}
+	}
+}
+
+func TestSubmitAssignsFreshTraceID(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	upload := encodeGLB(t, workloadRecords(100), 64)
+	v1, _ := submitTraced(t, ts.URL, "", upload, nil)
+	v2, _ := submitTraced(t, ts.URL, "", upload, nil)
+	if v1.TraceID == "" || v2.TraceID == "" {
+		t.Fatal("jobs missing trace IDs")
+	}
+	if v1.TraceID == v2.TraceID {
+		t.Fatal("two jobs share a trace ID")
+	}
+}
+
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	get := func(url, accept string) (string, string) {
+		req, _ := http.NewRequest("GET", url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return string(data), resp.Header.Get("Content-Type")
+	}
+
+	// Default (and curl's */*) stays JSON.
+	body, ctype := get(ts.URL+"/metrics", "*/*")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("default content type %q", ctype)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Fatal("default /metrics is not JSON")
+	}
+
+	// ?format=prom forces the exposition.
+	body, ctype = get(ts.URL+"/metrics?format=prom", "")
+	if ctype != telemetry.PromContentType {
+		t.Fatalf("prom content type %q", ctype)
+	}
+	if !strings.Contains(body, `tracedst_up{tool="tracedstd"} 1`) {
+		t.Fatalf("prom body missing up metric:\n%s", body)
+	}
+
+	// An Accept asking for text/plain opts in without the query param.
+	body, ctype = get(ts.URL+"/metrics", "text/plain")
+	if ctype != telemetry.PromContentType || !strings.Contains(body, "tracedst_up") {
+		t.Fatalf("Accept text/plain: content type %q", ctype)
+	}
+
+	// ?format=json wins over any Accept.
+	_, ctype = get(ts.URL+"/metrics?format=json", "text/plain")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("format=json content type %q", ctype)
+	}
+}
+
+func TestReportJSONFormat(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	upload := encodeGLB(t, workloadRecords(500), 128)
+	v, _ := submitTraced(t, ts.URL, "?wait=1", upload, map[string]string{"X-Request-ID": "req-json"})
+	if v.State != StateDone {
+		t.Fatalf("job state %s", v.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/report?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "application/json") {
+		t.Fatalf("content type %q", got)
+	}
+	var rec Job
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Report == "" {
+		t.Fatal("JSON report missing report text")
+	}
+	if rec.TraceID != telemetry.DeriveTraceID("req-json").String() {
+		t.Fatalf("JSON report trace_id %q", rec.TraceID)
+	}
+	if rec.Resources == nil || rec.Resources.Records != rec.Records {
+		t.Fatalf("JSON report resources %+v, records %d", rec.Resources, rec.Records)
+	}
+
+	// The plain-text default is unchanged.
+	resp2, err := http.Get(ts.URL + "/jobs/" + v.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	data, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(resp2.Header.Get("Content-Type"), "text/plain") || len(data) == 0 {
+		t.Fatal("plain report broken")
+	}
+	if string(data) != rec.Report {
+		t.Fatal("plain and JSON report text differ")
+	}
+}
+
+func TestPprofMountGated(t *testing.T) {
+	_, tsOff, _ := newTestServer(t, nil)
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without EnablePprof: %d", resp.StatusCode)
+	}
+
+	_, tsOn, _ := newTestServer(t, func(c *Config) { c.EnablePprof = true })
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not served with EnablePprof: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,182 @@
+// Prometheus text exposition (format version 0.0.4) for a Registry:
+// counters become *_total counters, gauges map 1:1, the log2-bucket
+// histograms render as cumulative le-bucket histograms, and span
+// aggregates export as count/wall/cpu totals labeled by span name — so a
+// stock Prometheus server can scrape tracedstd's /metrics with no
+// adapter. Rendering reads straight off the live registry (histogram
+// buckets included, which the JSON manifest elides) and is byte-
+// deterministic for a frozen registry: families and series sort by name.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamespace prefixes every exported metric family.
+const promNamespace = "tracedst"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. tool labels the uptime/info series with the exporting binary.
+func (r *Registry) WritePrometheus(w io.Writer, tool string) error {
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	type histCopy struct {
+		count, sum int64
+		buckets    [histBuckets]int64
+	}
+	hists := make(map[string]histCopy, len(r.hists))
+	for name, h := range r.hists {
+		hc := histCopy{count: h.Count(), sum: h.Sum()}
+		for i := range h.buckets {
+			hc.buckets[i] = h.buckets[i].Load()
+		}
+		hists[name] = hc
+	}
+	spans := make(map[string]SpanSnapshot, len(r.spans))
+	for name, st := range r.spans {
+		spans[name] = SpanSnapshot{Count: st.Count, WallNS: st.WallNS, CPUNS: st.CPUNS}
+	}
+	started := r.start
+	r.mu.RUnlock()
+
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# HELP %s_up Whether the %s exporter is serving (always 1 when scraped).\n", promNamespace, promNamespace)
+	fmt.Fprintf(&b, "# TYPE %s_up gauge\n", promNamespace)
+	fmt.Fprintf(&b, "%s_up{tool=%s} 1\n", promNamespace, promLabelValue(tool))
+	fmt.Fprintf(&b, "# HELP %s_uptime_seconds Seconds since the registry was created.\n", promNamespace)
+	fmt.Fprintf(&b, "# TYPE %s_uptime_seconds gauge\n", promNamespace)
+	fmt.Fprintf(&b, "%s_uptime_seconds %s\n", promNamespace, promFloat(time.Since(started).Seconds()))
+
+	for _, name := range sortedKeys(counters) {
+		fam := promNamespace + "_" + promName(name) + "_total"
+		fmt.Fprintf(&b, "# HELP %s Counter %q.\n", fam, name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(&b, "%s %d\n", fam, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		fam := promNamespace + "_" + promName(name)
+		fmt.Fprintf(&b, "# HELP %s Gauge %q.\n", fam, name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(&b, "%s %d\n", fam, gauges[name])
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		fam := promNamespace + "_" + promName(name)
+		fmt.Fprintf(&b, "# HELP %s Histogram %q (power-of-two buckets).\n", fam, name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		// Bucket i of the internal histogram holds values of bit length i,
+		// i.e. (2^(i-1), 2^i - 1]; its inclusive Prometheus upper bound is
+		// 2^i - 1 (bucket 0 holds exactly the value 0, le="0"). Emit only up
+		// to the highest populated bucket, then +Inf.
+		top := 0
+		for i, n := range h.buckets {
+			if n > 0 {
+				top = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= top; i++ {
+			cum += h.buckets[i]
+			le := "0"
+			if i > 0 {
+				le = strconv.FormatUint(1<<uint(i)-1, 10)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", fam, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.count)
+		fmt.Fprintf(&b, "%s_sum %d\n", fam, h.sum)
+		fmt.Fprintf(&b, "%s_count %d\n", fam, h.count)
+	}
+
+	if len(spans) > 0 {
+		names := sortedKeys(spans)
+		emit := func(fam, help string, val func(SpanSnapshot) string) {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam, help)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+			for _, name := range names {
+				fmt.Fprintf(&b, "%s{span=%s} %s\n", fam, promLabelValue(name), val(spans[name]))
+			}
+		}
+		emit(promNamespace+"_span_count_total", "Completed spans by name.",
+			func(s SpanSnapshot) string { return strconv.FormatInt(s.Count, 10) })
+		emit(promNamespace+"_span_wall_seconds_total", "Cumulative span wall time by name.",
+			func(s SpanSnapshot) string { return promFloat(float64(s.WallNS) / 1e9) })
+		emit(promNamespace+"_span_cpu_seconds_total", "Cumulative span CPU time by name (process-wide clock).",
+			func(s SpanSnapshot) string { return promFloat(float64(s.CPUNS) / 1e9) })
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:]: every other rune (the registry's dots, dashes, slashes)
+// becomes an underscore.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelValue quotes and escapes a label value per the exposition
+// format: backslash, double quote and newline are escaped.
+func promLabelValue(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// promFloat renders a float in the shortest round-tripping form.
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func promRender(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b, "testtool"); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWritePrometheusFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("trace.decode.records").Add(42)
+	reg.Gauge("server.queue_depth").Set(3)
+	sp := reg.StartSpan("server.job")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	out := promRender(t, reg)
+	for _, want := range []string{
+		`tracedst_up{tool="testtool"} 1`,
+		"# TYPE tracedst_trace_decode_records_total counter",
+		"tracedst_trace_decode_records_total 42",
+		"# TYPE tracedst_server_queue_depth gauge",
+		"tracedst_server_queue_depth 3",
+		`tracedst_span_count_total{span="server.job"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `tracedst_span_wall_seconds_total{span="server.job"} `) {
+		t.Errorf("output missing span wall family\n%s", out)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("job.wall_ns")
+	h.Observe(0) // bucket le="0"
+	h.Observe(1) // bucket le="1"
+	h.Observe(3) // bucket le="3"
+	h.Observe(3)
+
+	out := promRender(t, reg)
+	for _, want := range []string{
+		"# TYPE tracedst_job_wall_ns histogram",
+		`tracedst_job_wall_ns_bucket{le="0"} 1`,
+		`tracedst_job_wall_ns_bucket{le="1"} 2`,
+		`tracedst_job_wall_ns_bucket{le="3"} 4`,
+		`tracedst_job_wall_ns_bucket{le="+Inf"} 4`,
+		"tracedst_job_wall_ns_sum 7",
+		"tracedst_job_wall_ns_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicAndEscaped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.counter").Inc()
+	reg.Counter("a.counter").Inc()
+	sp := reg.StartSpan(`odd"name` + "\n")
+	sp.End()
+
+	out1 := promRender(t, reg)
+	out2 := promRender(t, reg)
+	// Uptime moves between renders; compare everything else.
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "uptime_seconds") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(out1) != strip(out2) {
+		t.Fatal("output is not deterministic")
+	}
+	if strings.Index(out1, "tracedst_a_counter_total") > strings.Index(out1, "tracedst_b_counter_total") {
+		t.Fatal("families are not sorted")
+	}
+	if !strings.Contains(out1, `span="odd\"name\n"`) {
+		t.Fatalf("label value not escaped:\n%s", out1)
+	}
+}
+
+func TestHistogramEmptySnapshotZeroes(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("empty")
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram Min/Max = %d/%d, want 0/0", h.Min(), h.Max())
+	}
+	snap := reg.Snapshot("t").Histograms["empty"]
+	if snap.Min != 0 || snap.Max != 0 || snap.Count != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramMinMaxSentinelRace(t *testing.T) {
+	// Observe bumps count before settling min/max; a reader landing in
+	// that window used to see the init sentinels (MaxInt64/MinInt64).
+	// Simulate the torn state white-box: count advanced, min/max untouched.
+	reg := NewRegistry()
+	h := reg.Histogram("torn")
+	h.count.Add(1)
+	h.sum.Add(5)
+	if h.Min() != 0 {
+		t.Fatalf("torn Min = %d, want 0", h.Min())
+	}
+	if h.Max() != 0 {
+		t.Fatalf("torn Max = %d, want 0", h.Max())
+	}
+	// A real observation afterwards restores exact min/max.
+	h.Observe(5)
+	if h.Min() != 5 || h.Max() != 5 {
+		t.Fatalf("after observe Min/Max = %d/%d, want 5/5", h.Min(), h.Max())
+	}
+}

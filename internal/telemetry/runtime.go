@@ -1,0 +1,74 @@
+// Background runtime sampler: periodically folds Go runtime health —
+// goroutine count, heap, GC activity — into registry gauges, so a scrape
+// of /metrics (JSON or Prometheus) always carries a fresh picture of the
+// process without every handler paying for ReadMemStats.
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultRuntimeSampleInterval is the sampling cadence used when
+// StartRuntimeSampler is given a non-positive interval.
+const DefaultRuntimeSampleInterval = 5 * time.Second
+
+// StartRuntimeSampler samples the Go runtime into reg's gauges
+// (runtime.goroutines, runtime.heap_alloc_bytes, runtime.heap_sys_bytes,
+// runtime.heap_objects, runtime.gc_count, runtime.gc_pause_total_ns,
+// runtime.last_gc_pause_ns) every interval until the returned stop
+// function is called. One sample is taken synchronously before returning,
+// so the gauges exist immediately. stop is idempotent and waits for the
+// sampler goroutine to exit.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultRuntimeSampleInterval
+	}
+	goroutines := reg.Gauge("runtime.goroutines")
+	heapAlloc := reg.Gauge("runtime.heap_alloc_bytes")
+	heapSys := reg.Gauge("runtime.heap_sys_bytes")
+	heapObjects := reg.Gauge("runtime.heap_objects")
+	gcCount := reg.Gauge("runtime.gc_count")
+	gcPauseTotal := reg.Gauge("runtime.gc_pause_total_ns")
+	lastPause := reg.Gauge("runtime.last_gc_pause_ns")
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		heapObjects.Set(int64(ms.HeapObjects))
+		gcCount.Set(int64(ms.NumGC))
+		gcPauseTotal.Set(int64(ms.PauseTotalNs))
+		if ms.NumGC > 0 {
+			lastPause.Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+		}
+	}
+	sample()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -21,18 +21,74 @@ type SpanStats struct {
 
 // Span is one running phase timer. Create with Registry.StartSpan, stop
 // with End. Spans nest by name: child spans started with Child record
-// under "parent/child".
+// under "parent/child". A span started with StartSpanCtx from a context
+// carrying a trace additionally gets IDs and exports a SpanEvent on End.
 type Span struct {
 	reg   *Registry
 	name  string
 	wall0 time.Time
 	cpu0  time.Duration
+
+	// Tracing state; all zero (and cost-free) for untraced spans.
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	exp    *SpanExporter
+	attrs  map[string]string
 }
 
 // StartSpan starts a phase timer recording into the registry under name.
 func (r *Registry) StartSpan(name string) *Span {
 	return &Span{reg: r, name: name, wall0: time.Now(), cpu0: processCPU()}
 }
+
+// StartSpanCtx starts a span that participates in the trace ctx carries:
+// the span gets a fresh ID, names the context's current span as parent,
+// inherits the context's attributes, and exports a SpanEvent when ended.
+// The returned context makes this span the parent of spans started from
+// it. When ctx carries no trace this is exactly StartSpan — same cost,
+// same aggregates, ctx returned unchanged.
+func (r *Registry) StartSpanCtx(ctx context.Context, name string) (*Span, context.Context) {
+	tc, ok := ctx.Value(traceCtxKey{}).(*traceCtx)
+	if !ok || tc.trace.IsZero() {
+		return r.StartSpan(name), ctx
+	}
+	s := r.StartSpan(name)
+	s.trace = tc.trace
+	s.id = NewSpanID()
+	s.parent = tc.parent
+	s.exp = tc.exp
+	if len(tc.attrs) > 0 {
+		s.attrs = make(map[string]string, len(tc.attrs)+2)
+		for k, v := range tc.attrs {
+			s.attrs[k] = v
+		}
+	}
+	child := &traceCtx{exp: tc.exp, trace: tc.trace, parent: s.id, attrs: tc.attrs}
+	return s, context.WithValue(ctx, traceCtxKey{}, child)
+}
+
+// Traced reports whether the span is part of a trace.
+func (s *Span) Traced() bool { return !s.trace.IsZero() }
+
+// Trace returns the span's trace ID (zero when untraced).
+func (s *Span) Trace() TraceID { return s.trace }
+
+// SetAttr tags the span with a key=value attribute for the JSONL export.
+// No-op on untraced spans, so call sites need not guard.
+func (s *Span) SetAttr(key, value string) {
+	if s.trace.IsZero() {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// ProcessCPU returns the process's cumulative CPU time (user + system) —
+// the clock spans time against, exported for per-job resource accounting.
+func ProcessCPU() time.Duration { return processCPU() }
 
 // Name returns the span's full (nested) name.
 func (s *Span) Name() string { return s.name }
@@ -49,6 +105,25 @@ func (s *Span) End() time.Duration {
 	wall := time.Since(s.wall0)
 	cpu := processCPU() - s.cpu0
 	s.reg.recordSpan(s.name, wall, cpu)
+	if !s.trace.IsZero() && s.exp != nil {
+		if cpu < 0 {
+			cpu = 0 // a cputime backend error must not produce a negative event
+		}
+		start := s.wall0.UnixNano()
+		ev := SpanEvent{
+			Trace:   s.trace.String(),
+			Span:    s.id.String(),
+			Name:    s.name,
+			StartNS: start,
+			EndNS:   start + int64(wall),
+			CPUNS:   int64(cpu),
+			Attrs:   s.attrs,
+		}
+		if !s.parent.IsZero() {
+			ev.Parent = s.parent.String()
+		}
+		s.exp.Record(ev)
+	}
 	if l := L(); l.Enabled(context.Background(), slog.LevelDebug) {
 		l.Debug("span", "name", s.name,
 			"wall_ms", float64(wall)/float64(time.Millisecond),

@@ -99,19 +99,32 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Min returns the smallest observed value (0 before any observation).
+// Observe bumps count before it settles min/max, so a concurrent reader
+// can see count > 0 while min still holds its init sentinel; both the
+// no-sample case and that window report 0 instead of leaking MaxInt64
+// into snapshots.
 func (h *Histogram) Min() int64 {
 	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.min.Load()
+	v := h.min.Load()
+	if v == math.MaxInt64 {
+		return 0
+	}
+	return v
 }
 
-// Max returns the largest observed value (0 before any observation).
+// Max returns the largest observed value (0 before any observation or
+// while a racing first Observe has not yet settled the sentinel).
 func (h *Histogram) Max() int64 {
 	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.max.Load()
+	v := h.max.Load()
+	if v == math.MinInt64 {
+		return 0
+	}
+	return v
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) at

@@ -1,0 +1,310 @@
+// Structured request tracing: spans get IDs, parents and a trace ID, are
+// tagged with key=value attributes, and export as JSONL — while still
+// feeding the per-name aggregates the metrics manifest reports, so
+// tracing rides on the existing Span API instead of replacing it.
+//
+// The design follows the tracer-driver shape: the process emits
+// structured trace events and external analyzers (tools/spanview,
+// tools/metricscheck -spans) consume them offline. Propagation is
+// context-based: a context made with ContextWithTrace carries the trace
+// ID, the current parent span and inherited attributes; StartSpanCtx
+// reads it and returns a child context, so trace IDs flow through the
+// pipeline stages without any API beyond context.Context. A context
+// without a trace costs nothing: StartSpanCtx degenerates to StartSpan.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+)
+
+// TraceID identifies one end-to-end request: every span recorded on its
+// behalf — across pipeline stages, retries, even a server restart —
+// carries the same trace ID. The zero value means "not traced".
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// NewTraceID returns a random trace ID (never zero).
+func NewTraceID() TraceID {
+	var t TraceID
+	fillRandom(t[:])
+	return t
+}
+
+// NewSpanID returns a random span ID (never zero).
+func NewSpanID() SpanID {
+	var s SpanID
+	fillRandom(s[:])
+	return s
+}
+
+// fillRandom fills b with random bytes and guarantees b is nonzero.
+func fillRandom(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// counter so IDs stay unique within the process.
+		n := idFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * (uint(i) % 8)))
+		}
+	}
+	for _, c := range b {
+		if c != 0 {
+			return
+		}
+	}
+	b[len(b)-1] = 1
+}
+
+var idFallback counterValue
+
+// counterValue is a tiny atomic counter (avoids importing sync/atomic
+// types into the ID path signature).
+type counterValue struct{ c Counter }
+
+func (v *counterValue) Add(n int64) int64 { v.c.Add(n); return v.c.Value() }
+
+// IsZero reports whether the trace ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the span ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the span ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses a 32-hex-character trace ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 2*len(t) {
+		return t, fmt.Errorf("telemetry: trace ID %q: want %d hex chars", s, 2*len(t))
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("telemetry: trace ID %q: %v", s, err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("telemetry: trace ID %q: all-zero IDs are invalid", s)
+	}
+	return t, nil
+}
+
+// ParseSpanID parses a 16-hex-character span ID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("telemetry: span ID %q: want %d hex chars", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("telemetry: span ID %q: %v", s, err)
+	}
+	return id, nil
+}
+
+// DeriveTraceID maps an arbitrary request identifier (an opaque
+// X-Request-ID, say) onto a stable trace ID, so retried submissions with
+// the same caller ID land in the same trace.
+func DeriveTraceID(s string) TraceID {
+	h := fnv.New128a()
+	h.Write([]byte(s))
+	var t TraceID
+	h.Sum(t[:0])
+	if t.IsZero() {
+		t[15] = 1
+	}
+	return t
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex trace>-<16 hex span>-<flags>") into the remote trace and
+// parent span IDs.
+func ParseTraceparent(h string) (TraceID, SpanID, error) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return TraceID{}, SpanID{}, fmt.Errorf("telemetry: traceparent %q: want 00-<trace>-<span>-<flags>", h)
+	}
+	t, err := ParseTraceID(parts[1])
+	if err != nil {
+		return TraceID{}, SpanID{}, err
+	}
+	s, err := ParseSpanID(parts[2])
+	if err != nil {
+		return TraceID{}, SpanID{}, err
+	}
+	return t, s, nil
+}
+
+// SpanEvent is one completed span as exported to the JSONL trace file —
+// the wire schema checked in as schema/spans.schema.json and validated
+// by `metricscheck -spans`.
+type SpanEvent struct {
+	Trace   string            `json:"trace"`
+	Span    string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_unix_ns"`
+	EndNS   int64             `json:"end_unix_ns"`
+	CPUNS   int64             `json:"cpu_ns,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WallNS returns the span's wall duration in nanoseconds.
+func (e *SpanEvent) WallNS() int64 { return e.EndNS - e.StartNS }
+
+// DefaultSpanCap bounds how many events a SpanExporter buffers; beyond
+// it events are dropped (counted by Dropped) so a long-lived server
+// cannot grow without bound.
+const DefaultSpanCap = 1 << 18
+
+// SpanExporter collects completed span events and writes them as JSONL
+// with the same atomic temp-file+rename discipline as the metrics
+// manifest: Flush rewrites the whole file, so readers never observe a
+// torn line.
+type SpanExporter struct {
+	path string
+
+	mu      sync.Mutex
+	cap     int
+	events  []SpanEvent
+	dropped int64
+}
+
+// NewSpanExporter returns an exporter targeting path ("" buffers only —
+// useful in-process; Flush is then a no-op).
+func NewSpanExporter(path string) *SpanExporter {
+	return &SpanExporter{path: path, cap: DefaultSpanCap}
+}
+
+// SetCap bounds the event buffer (n <= 0 restores the default).
+func (e *SpanExporter) SetCap(n int) {
+	if n <= 0 {
+		n = DefaultSpanCap
+	}
+	e.mu.Lock()
+	e.cap = n
+	e.mu.Unlock()
+}
+
+// Record buffers one completed span event.
+func (e *SpanExporter) Record(ev SpanEvent) {
+	e.mu.Lock()
+	if len(e.events) >= e.cap {
+		e.dropped++
+	} else {
+		e.events = append(e.events, ev)
+	}
+	e.mu.Unlock()
+}
+
+// Events returns a snapshot of the buffered events.
+func (e *SpanExporter) Events() []SpanEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]SpanEvent(nil), e.events...)
+}
+
+// Dropped returns how many events the cap discarded.
+func (e *SpanExporter) Dropped() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// Flush writes every buffered event as one JSON object per line,
+// atomically replacing the target file. Safe to call repeatedly: each
+// call rewrites the full buffer, so the file is always a complete,
+// self-consistent export.
+func (e *SpanExporter) Flush() error {
+	e.mu.Lock()
+	events := append([]SpanEvent(nil), e.events...)
+	path := e.path
+	e.mu.Unlock()
+	if path == "" {
+		return nil
+	}
+	var buf []byte
+	for i := range events {
+		line, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("telemetry: span export: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	return writeFileAtomic(path, buf)
+}
+
+// Close flushes the exporter.
+func (e *SpanExporter) Close() error { return e.Flush() }
+
+// traceCtxKey keys the trace state carried by a context.
+type traceCtxKey struct{}
+
+// traceCtx is the per-context trace state: where events go, which trace
+// this is, the span new children should name as parent, and attributes
+// every descendant span inherits (the job ID, for instance).
+type traceCtx struct {
+	exp    *SpanExporter
+	trace  TraceID
+	parent SpanID
+	attrs  map[string]string
+}
+
+// ContextWithTrace returns a context carrying a new trace root: spans
+// started from it (StartSpanCtx) get IDs, record into exp, and propagate
+// parentage through the returned context chain. exp may be nil to
+// propagate IDs and attributes without exporting.
+func ContextWithTrace(ctx context.Context, exp *SpanExporter, trace TraceID) context.Context {
+	if trace.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, &traceCtx{exp: exp, trace: trace})
+}
+
+// ContextWithRemoteParent is ContextWithTrace for a trace that began in
+// another process (an inbound traceparent header): the first span started
+// from the context reports the remote span as its parent.
+func ContextWithRemoteParent(ctx context.Context, exp *SpanExporter, trace TraceID, parent SpanID) context.Context {
+	if trace.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, &traceCtx{exp: exp, trace: trace, parent: parent})
+}
+
+// ContextWithAttrs returns a context whose future spans (and theirs,
+// recursively) carry the given key=value attributes — how a server job
+// tags every stage span with its job ID. kv is alternating keys and
+// values; a context without a trace is returned unchanged.
+func ContextWithAttrs(ctx context.Context, kv ...string) context.Context {
+	tc, ok := ctx.Value(traceCtxKey{}).(*traceCtx)
+	if !ok || len(kv) < 2 {
+		return ctx
+	}
+	attrs := make(map[string]string, len(tc.attrs)+len(kv)/2)
+	for k, v := range tc.attrs {
+		attrs[k] = v
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		attrs[kv[i]] = kv[i+1]
+	}
+	return context.WithValue(ctx, traceCtxKey{}, &traceCtx{exp: tc.exp, trace: tc.trace, parent: tc.parent, attrs: attrs})
+}
+
+// TraceIDFrom extracts the trace ID a context carries, if any.
+func TraceIDFrom(ctx context.Context) (TraceID, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(*traceCtx)
+	if !ok {
+		return TraceID{}, false
+	}
+	return tc.trace, true
+}

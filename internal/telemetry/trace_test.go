@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("trace ID %q: want 32 hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip %v != %v", back, id)
+	}
+	if other := NewTraceID(); other == id {
+		t.Fatal("two NewTraceID calls collided")
+	}
+}
+
+func TestParseTraceIDRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32),
+		strings.Repeat("a", 31), strings.Repeat("a", 33),
+	} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q): want error", bad)
+		}
+	}
+}
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	id := NewSpanID()
+	if id.IsZero() {
+		t.Fatal("NewSpanID returned zero")
+	}
+	back, err := ParseSpanID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip %v != %v", back, id)
+	}
+}
+
+func TestDeriveTraceID(t *testing.T) {
+	a := DeriveTraceID("request-42")
+	b := DeriveTraceID("request-42")
+	c := DeriveTraceID("request-43")
+	if a != b {
+		t.Fatal("derivation is not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct inputs collided")
+	}
+	if a.IsZero() {
+		t.Fatal("derived ID is zero")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	tid, sid, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace = %s", tid)
+	}
+	if sid.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span = %s", sid)
+	}
+	for _, bad := range []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // missing flags
+		"00-short-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace
+	} {
+		if _, _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q): want error", bad)
+		}
+	}
+}
+
+func TestStartSpanCtxUntracedIsFree(t *testing.T) {
+	reg := NewRegistry()
+	ctx := context.Background()
+	sp, out := reg.StartSpanCtx(ctx, "plain")
+	if out != ctx {
+		t.Fatal("untraced StartSpanCtx should return the same context")
+	}
+	if sp.Traced() {
+		t.Fatal("span should be untraced")
+	}
+	sp.SetAttr("k", "v") // must be a no-op, not a panic
+	sp.End()
+	if snap := reg.Snapshot("t"); snap.Spans["plain"].Count != 1 {
+		t.Fatal("aggregates must still record untraced spans")
+	}
+}
+
+func TestTracePropagationAndExport(t *testing.T) {
+	reg := NewRegistry()
+	exp := NewSpanExporter("")
+	tid := NewTraceID()
+	ctx := ContextWithTrace(context.Background(), exp, tid)
+	ctx = ContextWithAttrs(ctx, "job", "j000001")
+
+	root, ctx := reg.StartSpanCtx(ctx, "root")
+	if !root.Traced() || root.Trace() != tid {
+		t.Fatal("root span did not join the trace")
+	}
+	child, cctx := reg.StartSpanCtx(ctx, "child")
+	grand, _ := reg.StartSpanCtx(cctx, "grandchild")
+	grand.SetAttr("records", "5")
+	grand.End()
+	child.End()
+	root.End()
+
+	events := exp.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byName := map[string]SpanEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+		if ev.Trace != tid.String() {
+			t.Fatalf("span %s: trace %s, want %s", ev.Name, ev.Trace, tid)
+		}
+		if ev.Attrs["job"] != "j000001" {
+			t.Fatalf("span %s: inherited attr job = %q", ev.Name, ev.Attrs["job"])
+		}
+		if ev.EndNS < ev.StartNS {
+			t.Fatalf("span %s ends before it starts", ev.Name)
+		}
+	}
+	if byName["root"].Parent != "" {
+		t.Fatalf("root has parent %q", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].Span {
+		t.Fatal("child's parent is not root")
+	}
+	if byName["grandchild"].Parent != byName["child"].Span {
+		t.Fatal("grandchild's parent is not child")
+	}
+	if byName["grandchild"].Attrs["records"] != "5" {
+		t.Fatal("SetAttr lost")
+	}
+	// Aggregates fire alongside the events.
+	snap := reg.Snapshot("t")
+	for _, name := range []string{"root", "child", "grandchild"} {
+		if snap.Spans[name].Count != 1 {
+			t.Fatalf("aggregate for %s missing", name)
+		}
+	}
+}
+
+func TestContextWithRemoteParent(t *testing.T) {
+	reg := NewRegistry()
+	exp := NewSpanExporter("")
+	tid := NewTraceID()
+	remote := NewSpanID()
+	ctx := ContextWithRemoteParent(context.Background(), exp, tid, remote)
+	sp, _ := reg.StartSpanCtx(ctx, "server.job")
+	sp.End()
+	events := exp.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Parent != remote.String() {
+		t.Fatalf("parent %q, want remote %s", events[0].Parent, remote)
+	}
+}
+
+func TestTraceIDFrom(t *testing.T) {
+	if _, ok := TraceIDFrom(context.Background()); ok {
+		t.Fatal("background context should carry no trace")
+	}
+	tid := NewTraceID()
+	ctx := ContextWithTrace(context.Background(), NewSpanExporter(""), tid)
+	got, ok := TraceIDFrom(ctx)
+	if !ok || got != tid {
+		t.Fatalf("TraceIDFrom = %v, %v", got, ok)
+	}
+}
+
+func TestSpanExporterFlushJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	reg := NewRegistry()
+	exp := NewSpanExporter(path)
+	ctx := ContextWithTrace(context.Background(), exp, NewTraceID())
+	root, ctx := reg.StartSpanCtx(ctx, "a")
+	child, _ := reg.StartSpanCtx(ctx, "b")
+	child.End()
+	root.End()
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if ev.Trace == "" || ev.Span == "" || ev.Name == "" {
+			t.Fatalf("incomplete event %+v", ev)
+		}
+	}
+	// Flush is a full rewrite: flushing again must not duplicate lines.
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := os.ReadFile(path)
+	if string(again) != string(data) {
+		t.Fatal("second flush changed the file")
+	}
+}
+
+func TestSpanExporterCapDrops(t *testing.T) {
+	exp := NewSpanExporter("")
+	exp.SetCap(2)
+	for i := 0; i < 5; i++ {
+		exp.Record(SpanEvent{Trace: "t", Span: "s", Name: "n"})
+	}
+	if got := len(exp.Events()); got != 2 {
+		t.Fatalf("buffered %d, want 2", got)
+	}
+	if exp.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", exp.Dropped())
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, DefaultRuntimeSampleInterval)
+	defer stop()
+	snap := reg.Snapshot("t")
+	if snap.Gauges["runtime.goroutines"] <= 0 {
+		t.Fatalf("runtime.goroutines = %d", snap.Gauges["runtime.goroutines"])
+	}
+	if snap.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatalf("runtime.heap_alloc_bytes = %d", snap.Gauges["runtime.heap_alloc_bytes"])
+	}
+	stop()
+	stop() // idempotent
+}

@@ -7,8 +7,10 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"tracedst/internal/memmodel"
@@ -153,6 +155,21 @@ type ValidateOptions struct {
 // StackTop); accesses there are flagged as warnings, not errors, so that
 // transformed traces still validate.
 const synthLimit = memmodel.StackTop + 1<<16
+
+// ValidateCtx is Validate wrapped in a "validate.trace" span: when ctx
+// carries a trace the span joins its tree, tagged with the record and
+// diagnostic counts, and the per-name aggregate is recorded either way.
+func ValidateCtx(ctx context.Context, r io.Reader, opts ValidateOptions) (*Report, error) {
+	sp, _ := telemetry.Default().StartSpanCtx(ctx, "validate.trace")
+	rep, err := Validate(r, opts)
+	if rep != nil {
+		sp.SetAttr("records", strconv.Itoa(rep.Records))
+		sp.SetAttr("errors", strconv.Itoa(rep.Errors()))
+		sp.SetAttr("warnings", strconv.Itoa(rep.Warnings()))
+	}
+	sp.End()
+	return rep, err
+}
 
 // Validate streams the trace from r through the decoder and semantic
 // checks. Both container formats are accepted — the format is sniffed from

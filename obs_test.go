@@ -234,3 +234,80 @@ func TestCLIMetricsStdout(t *testing.T) {
 		t.Errorf("tool = %q, want glprof", m.Tool)
 	}
 }
+
+// TestCLITraceExport: -trace-out writes a JSONL span export whose lines
+// form one tree — a single trace ID, a root span named after the tool,
+// every other span reachable through in-export parents.
+func TestCLITraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.out")
+	spansFile := filepath.Join(dir, "spans.jsonl")
+	runTool(t, "gltrace", "-w", "trans1-soa", "-o", traceFile)
+	runTool(t, "dinero", "-stream", "-trace-out", spansFile, traceFile)
+
+	type spanEvent struct {
+		Trace   string            `json:"trace"`
+		Span    string            `json:"span"`
+		Parent  string            `json:"parent"`
+		Name    string            `json:"name"`
+		StartNS int64             `json:"start_unix_ns"`
+		EndNS   int64             `json:"end_unix_ns"`
+		Attrs   map[string]string `json:"attrs"`
+	}
+	f, err := os.Open(spansFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var events []spanEvent
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev spanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("span line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d spans exported", len(events))
+	}
+
+	byName := map[string]spanEvent{}
+	ids := map[string]bool{}
+	trace := events[0].Trace
+	for _, ev := range events {
+		if ev.Trace != trace {
+			t.Fatalf("spans carry two trace IDs: %s and %s", trace, ev.Trace)
+		}
+		if ev.EndNS < ev.StartNS {
+			t.Fatalf("span %s ends before it starts", ev.Name)
+		}
+		byName[ev.Name] = ev
+		ids[ev.Span] = true
+	}
+	root, ok := byName["dinero"]
+	if !ok || root.Parent != "" {
+		t.Fatalf("no parentless root span named dinero (have %+v)", byName)
+	}
+	for _, want := range []string{"dinero/simulate-stream", "trace.decode.stream", "dinero.simulate"} {
+		ev, ok := byName[want]
+		if !ok {
+			t.Fatalf("no %s span in export", want)
+		}
+		if !ids[ev.Parent] {
+			t.Fatalf("span %s has parent %q outside the export", want, ev.Parent)
+		}
+	}
+	if byName["dinero.simulate"].Attrs["records"] == "" {
+		t.Error("dinero.simulate span lost its records attr")
+	}
+}

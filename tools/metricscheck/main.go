@@ -1,11 +1,16 @@
-// Command metricscheck validates a telemetry metrics manifest against the
-// checked-in JSON schema and the pipeline's semantic invariants. CI runs
-// it against the manifest of a small sweep:
+// Command metricscheck validates the pipeline's observability artifacts.
+// It checks a telemetry metrics manifest against the checked-in JSON
+// schema and the pipeline's semantic invariants, a span JSONL export
+// against the span schema plus trace-tree invariants (parent referential
+// integrity, timestamp ordering), and a Prometheus text exposition
+// against the format's lint rules. CI runs all three:
 //
 //	go run ./tools/metricscheck -schema schema/metrics.schema.json metrics.json
 //	go run ./tools/metricscheck -lossless -require experiments.tasks metrics.json
+//	go run ./tools/metricscheck -spans spans.jsonl
+//	go run ./tools/metricscheck -prom metrics.prom
 //
-// It implements exactly the JSON Schema subset the schema file uses —
+// It implements exactly the JSON Schema subset the schema files use —
 // type, const, minimum, required, properties, additionalProperties and
 // #/definitions/* refs — so the repository stays dependency-free.
 package main
@@ -19,37 +24,62 @@ import (
 )
 
 func main() {
-	schemaPath := flag.String("schema", "schema/metrics.schema.json", "JSON schema to validate against")
+	schemaPath := flag.String("schema", "schema/metrics.schema.json", "JSON schema to validate the manifest against")
 	lossless := flag.Bool("lossless", false, "require every decoded/ingested record to be simulated (or counted as ignored)")
+	spansPath := flag.String("spans", "", "validate this span JSONL export (schema + trace-tree invariants)")
+	spansSchemaPath := flag.String("spans-schema", "schema/spans.schema.json", "JSON schema to validate span lines against")
+	promPath := flag.String("prom", "", "lint this Prometheus text exposition file")
 	var require requireList
 	flag.Var(&require, "require", "counter that must be present and nonzero (repeatable)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "metricscheck: usage: metricscheck [-schema FILE] [-lossless] [-require COUNTER] MANIFEST")
+	if flag.NArg() > 1 || (flag.NArg() == 0 && *spansPath == "" && *promPath == "") {
+		fmt.Fprintln(os.Stderr, "metricscheck: usage: metricscheck [-schema FILE] [-lossless] [-require COUNTER] [-spans FILE] [-prom FILE] [MANIFEST]")
 		os.Exit(2)
 	}
 
-	schema, err := loadJSON(*schemaPath)
-	if err != nil {
-		fatal(err)
-	}
-	doc, err := loadJSON(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-
-	v := &validator{root: schema.(map[string]any)}
-	v.validate("$", doc, v.root)
-
-	checkInvariants(v, doc, *lossless, require)
-
-	if len(v.errs) > 0 {
-		for _, e := range v.errs {
-			fmt.Fprintf(os.Stderr, "metricscheck: %s: %s\n", flag.Arg(0), e)
+	failed := false
+	report := func(path string, errs []string) {
+		if len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "metricscheck: %s: %s\n", path, e)
+			}
+			failed = true
+			return
 		}
+		fmt.Printf("metricscheck: %s: ok\n", path)
+	}
+
+	if flag.NArg() == 1 {
+		schema, err := loadJSON(*schemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := loadJSON(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		v := &validator{root: schema.(map[string]any)}
+		v.validate("$", doc, v.root)
+		checkInvariants(v, doc, *lossless, require)
+		report(flag.Arg(0), v.errs)
+	}
+	if *spansPath != "" {
+		errs, err := checkSpans(*spansPath, *spansSchemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		report(*spansPath, errs)
+	}
+	if *promPath != "" {
+		errs, err := checkProm(*promPath)
+		if err != nil {
+			fatal(err)
+		}
+		report(*promPath, errs)
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("metricscheck: %s: ok\n", flag.Arg(0))
 }
 
 // requireList is the repeatable -require flag.

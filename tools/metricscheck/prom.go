@@ -1,0 +1,360 @@
+// Prometheus text exposition linting: the format rules a scraper would
+// enforce — valid metric/label names, quoted label values, parseable
+// sample values, TYPE declared before its samples, counter families named
+// *_total, cumulative le-ordered histogram buckets whose +Inf equals
+// _count, and no duplicate series.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+func checkProm(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var errs []string
+	types := map[string]string{} // family -> declared type
+	seen := map[string]int{}     // series signature -> first line
+	var samples []promSample
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				if !promMetricRe.MatchString(name) {
+					errs = append(errs, fmt.Sprintf("line %d: bad metric name %q in %s", line, name, fields[1]))
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						errs = append(errs, fmt.Sprintf("line %d: TYPE wants exactly one type", line))
+						continue
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						errs = append(errs, fmt.Sprintf("line %d: unknown type %q", line, fields[3]))
+					}
+					if _, dup := types[name]; dup {
+						errs = append(errs, fmt.Sprintf("line %d: duplicate TYPE for %s", line, name))
+					}
+					types[name] = fields[3]
+					if fields[3] == "counter" && !strings.HasSuffix(name, "_total") {
+						errs = append(errs, fmt.Sprintf("line %d: counter family %s does not end in _total", line, name))
+					}
+				}
+			}
+			continue
+		}
+		n++
+		s, err := parsePromLine(text)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("line %d: %v", line, err))
+			continue
+		}
+		s.line = line
+		if fam := promFamily(s.name, types); fam == "" {
+			errs = append(errs, fmt.Sprintf("line %d: sample %s has no preceding TYPE declaration", line, s.name))
+		}
+		sig := s.name + promSignature(s.labels)
+		if first, dup := seen[sig]; dup {
+			errs = append(errs, fmt.Sprintf("line %d: duplicate series %s (first at line %d)", line, sig, first))
+		} else {
+			seen[sig] = line
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if n == 0 {
+		errs = append(errs, "no samples")
+	}
+
+	errs = append(errs, checkPromHistograms(samples, types)...)
+	return errs, nil
+}
+
+// promFamily maps a sample name onto its declared family: exact match,
+// or the histogram/summary component suffixes.
+func promFamily(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+// checkPromHistograms validates each histogram family (grouped by its
+// non-le labels): le values ascending with +Inf last, bucket counts
+// cumulative, +Inf equal to _count, and _sum present.
+func checkPromHistograms(samples []promSample, types map[string]string) []string {
+	var errs []string
+	type group struct {
+		buckets []promSample
+		sum     *promSample
+		count   *promSample
+	}
+	groups := map[string]*group{} // family + non-le signature
+	order := []string{}
+	get := func(key string) *group {
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for i, s := range samples {
+		var fam, part string
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.name, suffix)
+			if base != s.name && types[base] == "histogram" {
+				fam, part = base, suffix
+				break
+			}
+		}
+		if fam == "" {
+			continue
+		}
+		rest := map[string]string{}
+		for k, v := range s.labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		g := get(fam + promSignature(rest))
+		switch part {
+		case "_bucket":
+			g.buckets = append(g.buckets, s)
+		case "_sum":
+			g.sum = &samples[i]
+		case "_count":
+			g.count = &samples[i]
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		if len(g.buckets) == 0 {
+			errs = append(errs, fmt.Sprintf("histogram %s: no buckets", key))
+			continue
+		}
+		prevLe := math.Inf(-1)
+		prevCum := int64(-1)
+		for _, b := range g.buckets {
+			leStr, ok := b.labels["le"]
+			if !ok {
+				errs = append(errs, fmt.Sprintf("line %d: bucket %s without le label", b.line, b.name))
+				continue
+			}
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("line %d: bad le %q", b.line, leStr))
+				continue
+			}
+			if le <= prevLe {
+				errs = append(errs, fmt.Sprintf("line %d: le %q out of order", b.line, leStr))
+			}
+			prevLe = le
+			cum := int64(b.value)
+			if cum < prevCum {
+				errs = append(errs, fmt.Sprintf("line %d: bucket count %d below previous bucket %d (not cumulative)", b.line, cum, prevCum))
+			}
+			prevCum = cum
+		}
+		last := g.buckets[len(g.buckets)-1]
+		if !math.IsInf(mustLe(last), 1) {
+			errs = append(errs, fmt.Sprintf("histogram %s: last bucket le is %q, want +Inf", key, last.labels["le"]))
+		}
+		if g.count == nil {
+			errs = append(errs, fmt.Sprintf("histogram %s: missing _count", key))
+		} else if int64(last.value) != int64(g.count.value) {
+			errs = append(errs, fmt.Sprintf("histogram %s: +Inf bucket %d != _count %d", key, int64(last.value), int64(g.count.value)))
+		}
+		if g.sum == nil {
+			errs = append(errs, fmt.Sprintf("histogram %s: missing _sum", key))
+		}
+	}
+	return errs
+}
+
+func mustLe(s promSample) float64 {
+	le, err := parsePromValue(s.labels["le"])
+	if err != nil {
+		return math.NaN()
+	}
+	return le
+}
+
+// promSignature renders a label set deterministically for series
+// identity.
+func promSignature(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// parsePromValue parses a sample or le value, accepting the exposition
+// format's infinity spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parsePromLine parses "name{label="v",...} value [timestamp]". The
+// label-value scanner honors the format's escapes (\\, \", \n), so
+// values may contain spaces, commas and braces.
+func parsePromLine(text string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	i := 0
+	for i < len(text) && isNameRune(text[i]) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("no metric name")
+	}
+	s.name = text[:i]
+	if !promMetricRe.MatchString(s.name) {
+		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	if i < len(text) && text[i] == '{' {
+		i++
+		for {
+			for i < len(text) && text[i] == ' ' {
+				i++
+			}
+			if i < len(text) && text[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(text) && text[j] != '=' {
+				j++
+			}
+			if j >= len(text) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			label := text[i:j]
+			if !promLabelRe.MatchString(label) {
+				return s, fmt.Errorf("bad label name %q", label)
+			}
+			i = j + 1
+			if i >= len(text) || text[i] != '"' {
+				return s, fmt.Errorf("label %s: value is not quoted", label)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(text) {
+					return s, fmt.Errorf("label %s: unterminated value", label)
+				}
+				c := text[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					if i+1 >= len(text) {
+						return s, fmt.Errorf("label %s: dangling escape", label)
+					}
+					switch text[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("label %s: bad escape \\%c", label, text[i+1])
+					}
+					i += 2
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if _, dup := s.labels[label]; dup {
+				return s, fmt.Errorf("duplicate label %s", label)
+			}
+			s.labels[label] = val.String()
+			if i < len(text) && text[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.Fields(text[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return s, fmt.Errorf("want VALUE [TIMESTAMP] after series, got %q", strings.TrimSpace(text[i:]))
+	}
+	v, err := parsePromValue(rest[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest[0])
+	}
+	s.value = v
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", rest[1])
+		}
+	}
+	return s, nil
+}
+
+func isNameRune(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':'
+}

@@ -1,0 +1,144 @@
+// Span JSONL validation: every line must satisfy the span schema, and
+// the lines together must form coherent trace trees — well-formed hex
+// IDs, no duplicate span IDs within a trace, parents that exist in the
+// same trace, and child intervals nested inside their parent's.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// spanClockSlopNS tolerates the wall-clock read skew between a parent's
+// and a child's start: timestamps are wall-clock reads but durations are
+// monotonic, so nesting can be off by the clock's jitter.
+const spanClockSlopNS = 5_000_000 // 5ms
+
+// spanLine is the subset of fields the invariant checks need; the
+// schema pass has already validated types and rejected unknown fields.
+type spanLine struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_unix_ns"`
+	EndNS   int64  `json:"end_unix_ns"`
+}
+
+func checkSpans(path, schemaPath string) ([]string, error) {
+	schemaDoc, err := loadJSON(schemaPath)
+	if err != nil {
+		return nil, err
+	}
+	schemaRoot, ok := schemaDoc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: schema is not an object", schemaPath)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var errs []string
+	var spans []spanLine
+	lineOf := map[string]int{} // "trace/span" -> first line, for duplicates
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		n++
+		var doc any
+		if err := json.Unmarshal([]byte(text), &doc); err != nil {
+			errs = append(errs, fmt.Sprintf("line %d: %v", line, err))
+			continue
+		}
+		v := &validator{root: schemaRoot}
+		v.validate(fmt.Sprintf("line %d", line), doc, schemaRoot)
+		errs = append(errs, v.errs...)
+		if len(v.errs) > 0 {
+			continue
+		}
+		var sp spanLine
+		if err := json.Unmarshal([]byte(text), &sp); err != nil {
+			errs = append(errs, fmt.Sprintf("line %d: %v", line, err))
+			continue
+		}
+		if !isHex(sp.Trace, 32) {
+			errs = append(errs, fmt.Sprintf("line %d: trace %q is not 32 hex digits", line, sp.Trace))
+		}
+		if !isHex(sp.Span, 16) {
+			errs = append(errs, fmt.Sprintf("line %d: span %q is not 16 hex digits", line, sp.Span))
+		}
+		if sp.Parent != "" && !isHex(sp.Parent, 16) {
+			errs = append(errs, fmt.Sprintf("line %d: parent %q is not 16 hex digits", line, sp.Parent))
+		}
+		if sp.EndNS < sp.StartNS {
+			errs = append(errs, fmt.Sprintf("line %d: span %s ends (%d) before it starts (%d)", line, sp.Span, sp.EndNS, sp.StartNS))
+		}
+		key := sp.Trace + "/" + sp.Span
+		if first, dup := lineOf[key]; dup {
+			errs = append(errs, fmt.Sprintf("line %d: span ID %s duplicates line %d within trace %s", line, sp.Span, first, sp.Trace))
+		} else {
+			lineOf[key] = line
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if n == 0 {
+		errs = append(errs, "no span lines")
+	}
+
+	// Tree invariants. A parent absent from the whole export is legal
+	// exactly once per trace shape: remote parents (a traceparent's span
+	// that lives in the caller's process) appear as in-export roots.
+	// Parents that ARE in the export must be in the same trace and must
+	// enclose the child's interval.
+	byKey := map[string]spanLine{}
+	for _, sp := range spans {
+		byKey[sp.Trace+"/"+sp.Span] = sp
+	}
+	inExport := map[string]bool{}
+	for _, sp := range spans {
+		inExport[sp.Span] = true
+	}
+	for _, sp := range spans {
+		if sp.Parent == "" {
+			continue
+		}
+		parent, sameTrace := byKey[sp.Trace+"/"+sp.Parent]
+		if !sameTrace {
+			if inExport[sp.Parent] {
+				errs = append(errs, fmt.Sprintf("span %s (%s): parent %s exists but in a different trace", sp.Span, sp.Name, sp.Parent))
+			}
+			continue
+		}
+		if sp.StartNS+spanClockSlopNS < parent.StartNS || sp.EndNS > parent.EndNS+spanClockSlopNS {
+			errs = append(errs, fmt.Sprintf("span %s (%s) [%d,%d] escapes parent %s (%s) [%d,%d]",
+				sp.Span, sp.Name, sp.StartNS, sp.EndNS, parent.Span, parent.Name, parent.StartNS, parent.EndNS))
+		}
+	}
+	return errs, nil
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,295 @@
+// Command spanview renders a span JSONL export (-trace-out of any tool,
+// or tracedstd's job exporter) as per-trace span trees, with wall/CPU
+// timings, attributes and the critical path — the terminal-native answer
+// to "where did this request spend its time?".
+//
+//	spanview spans.jsonl
+//	spanview -trace 4bf92f35 spans.jsonl        # one trace, by ID prefix
+//	spanview -summary spans.jsonl               # per-name totals only
+//	spanview -top 3 spans.jsonl                 # the 3 longest traces
+//
+// Exit status: 0 on success, 1 when the input cannot be parsed, 2 on
+// usage errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tracedst/internal/telemetry"
+)
+
+func main() {
+	tracePrefix := flag.String("trace", "", "render only traces whose ID starts with this hex prefix")
+	top := flag.Int("top", 0, "render only the N longest traces by root wall time (0 = all)")
+	summary := flag.Bool("summary", false, "print per-name totals instead of trees")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "spanview: usage: spanview [-trace PREFIX] [-top N] [-summary] SPANS.jsonl")
+		os.Exit(2)
+	}
+
+	events, err := readEvents(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spanview: %v\n", err)
+		os.Exit(1)
+	}
+	if *tracePrefix != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if strings.HasPrefix(ev.Trace, *tracePrefix) {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if len(events) == 0 {
+		fmt.Println("spanview: no spans")
+		return
+	}
+	if *summary {
+		printSummary(events)
+		return
+	}
+
+	traces := buildTraces(events)
+	if *top > 0 && len(traces) > *top {
+		traces = traces[:*top]
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		tr.print()
+	}
+}
+
+// readEvents parses one SpanEvent per JSONL line. Blank lines are
+// allowed; anything else that fails to decode is an error naming the
+// line.
+func readEvents(path string) ([]telemetry.SpanEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []telemetry.SpanEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev telemetry.SpanEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return events, nil
+}
+
+// node is one span in a reconstructed trace tree.
+type node struct {
+	ev       telemetry.SpanEvent
+	children []*node
+}
+
+// traceTree is one trace's reconstructed spans: roots are spans with no
+// parent (or a remote parent that never appears in the export — the
+// normal shape for tracedstd jobs joining a client's trace); orphans
+// point at a parent span ID that is absent AND are not roots by any
+// reading, which flags a torn export.
+type traceTree struct {
+	id     string
+	roots  []*node
+	wallNS int64 // max root wall, for -top ordering
+	spans  int
+}
+
+// buildTraces reconstructs trees per trace ID, longest trace first.
+func buildTraces(events []telemetry.SpanEvent) []*traceTree {
+	byTrace := map[string][]telemetry.SpanEvent{}
+	var order []string
+	for _, ev := range events {
+		if _, seen := byTrace[ev.Trace]; !seen {
+			order = append(order, ev.Trace)
+		}
+		byTrace[ev.Trace] = append(byTrace[ev.Trace], ev)
+	}
+	var traces []*traceTree
+	for _, id := range order {
+		evs := byTrace[id]
+		nodes := make(map[string]*node, len(evs))
+		for _, ev := range evs {
+			nodes[ev.Span] = &node{ev: ev}
+		}
+		tr := &traceTree{id: id, spans: len(evs)}
+		for _, ev := range evs {
+			n := nodes[ev.Span]
+			if ev.Parent != "" {
+				if p, ok := nodes[ev.Parent]; ok && p != n {
+					p.children = append(p.children, n)
+					continue
+				}
+			}
+			tr.roots = append(tr.roots, n)
+		}
+		for _, n := range nodes {
+			sort.Slice(n.children, func(i, j int) bool {
+				return n.children[i].ev.StartNS < n.children[j].ev.StartNS
+			})
+		}
+		sort.Slice(tr.roots, func(i, j int) bool { return tr.roots[i].ev.StartNS < tr.roots[j].ev.StartNS })
+		for _, r := range tr.roots {
+			if w := r.ev.WallNS(); w > tr.wallNS {
+				tr.wallNS = w
+			}
+		}
+		traces = append(traces, tr)
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].wallNS > traces[j].wallNS })
+	return traces
+}
+
+func (tr *traceTree) print() {
+	fmt.Printf("trace %s  (%d spans)\n", tr.id, tr.spans)
+	for _, r := range tr.roots {
+		printNode(r, "", true, r.ev.WallNS())
+	}
+	if cp := criticalPath(tr); len(cp) > 1 {
+		names := make([]string, len(cp))
+		for i, n := range cp {
+			names[i] = n.ev.Name
+		}
+		rootWall := cp[0].ev.WallNS()
+		leafWall := cp[len(cp)-1].ev.WallNS()
+		pct := 0.0
+		if rootWall > 0 {
+			pct = 100 * float64(leafWall) / float64(rootWall)
+		}
+		fmt.Printf("critical path: %s  (%s, %.0f%% of root)\n",
+			strings.Join(names, " → "), fmtNS(leafWall), pct)
+	}
+}
+
+// printNode renders one span line and recurses. rootWall scales the
+// percentage column; orphaned roots (parent set but absent) are marked.
+func printNode(n *node, prefix string, last bool, rootWall int64) {
+	connector := "├─ "
+	childPrefix := prefix + "│  "
+	if last {
+		connector = "└─ "
+		childPrefix = prefix + "   "
+	}
+	if prefix == "" && last {
+		connector = ""
+		childPrefix = "   "
+	}
+	wall := n.ev.WallNS()
+	line := fmt.Sprintf("%s%s%s  %s", prefix, connector, n.ev.Name, fmtNS(wall))
+	if rootWall > 0 && wall <= rootWall {
+		line += fmt.Sprintf(" (%2.0f%%)", 100*float64(wall)/float64(rootWall))
+	}
+	if n.ev.CPUNS > 0 {
+		line += fmt.Sprintf(" cpu=%s", fmtNS(n.ev.CPUNS))
+	}
+	if len(n.ev.Attrs) > 0 {
+		keys := make([]string, 0, len(n.ev.Attrs))
+		for k := range n.ev.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + n.ev.Attrs[k]
+		}
+		line += "  {" + strings.Join(parts, " ") + "}"
+	}
+	if prefix == "" && n.ev.Parent != "" {
+		line += "  [orphan: parent " + n.ev.Parent + " not in export]"
+	}
+	fmt.Println(line)
+	for i, c := range n.children {
+		printNode(c, childPrefix, i == len(n.children)-1, rootWall)
+	}
+}
+
+// criticalPath walks from the longest root through each node's
+// longest-wall child to a leaf.
+func criticalPath(tr *traceTree) []*node {
+	if len(tr.roots) == 0 {
+		return nil
+	}
+	cur := tr.roots[0]
+	for _, r := range tr.roots[1:] {
+		if r.ev.WallNS() > cur.ev.WallNS() {
+			cur = r
+		}
+	}
+	path := []*node{cur}
+	for len(cur.children) > 0 {
+		next := cur.children[0]
+		for _, c := range cur.children[1:] {
+			if c.ev.WallNS() > next.ev.WallNS() {
+				next = c
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// printSummary aggregates spans by name across every trace.
+func printSummary(events []telemetry.SpanEvent) {
+	type agg struct {
+		count  int64
+		wallNS int64
+		cpuNS  int64
+	}
+	byName := map[string]*agg{}
+	for _, ev := range events {
+		a := byName[ev.Name]
+		if a == nil {
+			a = &agg{}
+			byName[ev.Name] = a
+		}
+		a.count++
+		a.wallNS += ev.WallNS()
+		a.cpuNS += ev.CPUNS
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return byName[names[i]].wallNS > byName[names[j]].wallNS })
+	fmt.Printf("%-28s %8s %12s %12s\n", "span", "count", "wall", "cpu")
+	for _, name := range names {
+		a := byName[name]
+		fmt.Printf("%-28s %8d %12s %12s\n", name, a.count, fmtNS(a.wallNS), fmtNS(a.cpuNS))
+	}
+}
+
+// fmtNS renders nanoseconds in the most readable unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
