@@ -88,11 +88,11 @@ func main() {
 	}
 	sampling := dinero.Sampling{SetFactor: *sampleSets, Interval: *sampleInterval, Window: *sampleWindow}
 	if len(cfgSpecs) > 0 || *configsFile != "" || !sampling.Exact() {
-		if *shards != 0 {
-			obs.Fatal(fmt.Errorf("-shards needs a single exact config"))
+		if *shards != 0 && !sampling.Exact() {
+			obs.Fatal(fmt.Errorf("-shards needs exact sampling (interval state spans the whole stream)"))
 		}
 		runMulti(fs.Arg(0), opts, cfgSpecs, *configsFile, sampling, tf,
-			*plot || *csv != "" || *gnuplot != "", *stream)
+			*plot || *csv != "" || *gnuplot != "", *stream, *shards)
 		return
 	}
 	var sim *dinero.Simulator
@@ -185,8 +185,11 @@ var obs *cliutil.Obs
 // decoded, translated and symbol-resolved once, and every config (the -l1
 // flags as base, overridden per -config/-configs spec) simulates from that
 // shared stream. Reports print back-to-back in config order and are
-// byte-identical to independent runs when sampling is exact.
-func runMulti(path string, opts dinero.Options, specs []string, specFile string, sampling dinero.Sampling, tf *cliutil.TraceFlags, wantsPlot, stream bool) {
+// byte-identical to independent runs when sampling is exact. With -shards
+// the pass runs sharded over a .glb block index on the full-attribution
+// merged engine; reports then equal a serial run with Flush at each shard
+// boundary.
+func runMulti(path string, opts dinero.Options, specs []string, specFile string, sampling dinero.Sampling, tf *cliutil.TraceFlags, wantsPlot, stream bool, shards int) {
 	if wantsPlot {
 		obs.Fatal(fmt.Errorf("-plot/-csv/-gnuplot need a single exact config"))
 	}
@@ -207,6 +210,35 @@ func runMulti(path string, opts dinero.Options, specs []string, specFile string,
 	}
 	if len(cfgs) == 0 {
 		cfgs = append(cfgs, opts.L1) // sampling-only mode: base config alone
+	}
+	if shards != 0 {
+		// SIGINT/SIGTERM cancel the shard context, as in the single-config
+		// sharded path.
+		ctx, stop := signal.NotifyContext(obs.Ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		sp, _ := obs.Reg.StartSpanCtx(ctx, "dinero/multisim-sharded")
+		tr, err := trace.OpenIndexed(path)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		res, err := dinero.MultiSimShardedContext(ctx, tr, dinero.MultiOptions{
+			Configs:   cfgs,
+			L2:        opts.L2,
+			Translate: opts.Translate,
+		}, shards, tf.Options())
+		if err != nil {
+			tr.Close()
+			obs.Fatal(err)
+		}
+		cliutil.PublishIndexedDecode(tr, res.Sim.Records())
+		if err := tr.Close(); err != nil {
+			obs.Fatal(err)
+		}
+		sp.End()
+		res.PublishShardTelemetry(obs.Reg)
+		printMultiReports(res.Sim, sampling)
+		obs.Close()
+		return
 	}
 	ms, err := dinero.NewMulti(dinero.MultiOptions{
 		Configs:   cfgs,
@@ -244,6 +276,13 @@ func runMulti(path string, opts dinero.Options, specs []string, specFile string,
 		sp.End()
 	}
 	ms.PublishTelemetry(obs.Reg)
+	printMultiReports(ms, sampling)
+	obs.Close()
+}
+
+// printMultiReports prints every config's banner plus report (exact) or
+// scaled-estimate line (sampled).
+func printMultiReports(ms *dinero.MultiSim, sampling dinero.Sampling) {
 	for i := 0; i < ms.NumConfigs(); i++ {
 		cfg := ms.Config(i)
 		fmt.Printf("==== config %d/%d: %s ====\n", i+1, ms.NumConfigs(), describeConfig(cfg))
@@ -255,7 +294,6 @@ func runMulti(path string, opts dinero.Options, specs []string, specFile string,
 		fmt.Printf("sampled estimate (scale %.4g): accesses %d, misses %d, miss ratio %.4f\n",
 			ms.Scale(i), st.Accesses(), st.Misses(), st.MissRatio())
 	}
-	obs.Close()
 }
 
 // describeConfig renders a config header for multi-config output.

@@ -36,6 +36,7 @@ import (
 	"tracedst/internal/cliutil"
 	"tracedst/internal/dinero"
 	"tracedst/internal/experiments"
+	"tracedst/internal/simcache"
 )
 
 func main() {
@@ -58,7 +59,8 @@ func main() {
 	sampleSets := fs.Int("sample-sets", 0, "approximate sweeps: simulate every Nth cache set (power of two, 0/1 = exact)")
 	sampleInterval := fs.Int("sample-interval", 0, "approximate sweeps: simulate every Kth window of records (0/1 = exact)")
 	sampleWindow := fs.Int("sample-window", 0, "records per -sample-interval window (0 = default)")
-	shards := fs.Int("shards", 0, "sharded sweeps: split each sweep side into N cold shards merged via stats (equals flush-at-boundary serial run; 0/1 = off)")
+	shards := fs.Int("shards", 0, "sharded runs: split each sweep side and figure simulation into N cold shards merged with full attribution (equals flush-at-boundary serial run; 0/1 = off)")
+	simCacheDir := fs.String("simcache", "", "content-addressed result cache directory: finished sweep simulations are stored by (trace hash, config, tier) and reused across runs")
 	of := cliutil.NewObsFlags(fs, "experiments")
 	of.AddProfileFlags(fs)
 	_ = fs.Parse(os.Args[1:])
@@ -100,8 +102,17 @@ func main() {
 			"sample_sets", *sampleSets, "sample_interval", *sampleInterval)
 	}
 	if opts.Shards > 1 {
-		obs.Log.Info("sweeps run sharded: results equal a flush-at-boundary serial run",
+		obs.Log.Info("sweeps and figures run sharded: results equal a flush-at-boundary serial run",
 			"shards", opts.Shards)
+		experiments.SetFigureShards(opts.Shards)
+	}
+	if *simCacheDir != "" {
+		sc, err := simcache.Open(*simCacheDir, obs.Reg)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		opts.SimCache = sc
+		obs.Log.Info("simulation result cache enabled", "dir", sc.Dir(), "engine", simcache.EngineVersion)
 	}
 	dir := *ckptDir
 	if *resumeDir != "" {

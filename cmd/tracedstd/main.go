@@ -54,6 +54,7 @@ func main() {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs to checkpoint")
 	heartbeat := fs.Duration("heartbeat", 10*time.Second, "SSE keep-alive interval")
 	throttle := fs.Duration("throttle", 0, "sleep between record batches of every job (debug aid: makes drain timing deterministic)")
+	jobShards := fs.Int("job-shards", 0, "simulate each indexed binary upload (no rule) on N parallel shards so one big job uses all cores; report equals a flush-at-boundary serial run (0/1 = serial)")
 	pprofHTTP := fs.Bool("pprof-http", false, "mount net/http/pprof under /debug/pprof/ on the API listener")
 	runtimeMetrics := fs.Duration("runtime-metrics", telemetry.DefaultRuntimeSampleInterval, "runtime gauge sampling interval (goroutines, heap, GC); 0 disables")
 	cf := cliutil.NewCacheFlags(fs, "l1", "32k", 32, 1)
@@ -88,6 +89,7 @@ func main() {
 		BodyTimeout:  *bodyTimeout,
 		Heartbeat:    *heartbeat,
 		Throttle:     *throttle,
+		JobShards:    *jobShards,
 		Policy: experiments.RunPolicy{
 			TaskTimeout: *taskTimeout,
 			Retries:     *retries,

@@ -172,6 +172,14 @@ func (m *MultiSim) Config(i int) Config { return m.per[i].cfg }
 // caller multiplies by to estimate full-trace totals.
 func (m *MultiSim) Stats(i int) Stats { return m.per[i].stats }
 
+// MergeStats folds another run's raw statistics for configuration i into
+// this simulator's (exact cell-wise addition, per-set counts included) —
+// the reduce step of sharded multi-config simulation. The live stats are
+// mutated in place; other is only read.
+func (m *MultiSim) MergeStats(i int, other Stats) {
+	m.per[i].stats.Merge(other)
+}
+
 // SampleSets returns the set-sampling factor (0 or 1 = exact).
 func (m *MultiSim) SampleSets() int { return m.sampleSets }
 

@@ -368,6 +368,47 @@ func (m *MultiSim) ScaledStats(i int) cache.Stats {
 	return m.Stats(i).Scaled(m.Scale(i))
 }
 
+// MergeFrom folds another MultiSim's accumulated state into this one:
+// per-config raw statistics, full attribution (per-variable series,
+// per-function stats, conflict matrices — matched by symbol name, so the
+// two sides may use different intern tables) and record counters. It is
+// the reduce step of sharded multi-config simulation: merging cold shards
+// equals one serial run with Flush at each shard boundary. Both sides
+// must have the same configurations in the same order and exact sampling;
+// other is left unchanged and must not be fed concurrently.
+func (m *MultiSim) MergeFrom(other *MultiSim) error {
+	if len(m.cfgs) != len(other.cfgs) {
+		return fmt.Errorf("dinero: merge of %d-config multisim into %d-config multisim", len(other.cfgs), len(m.cfgs))
+	}
+	if !m.sampling.Exact() || !other.sampling.Exact() {
+		return fmt.Errorf("dinero: multisim merge requires exact sampling on both sides")
+	}
+	if m.statsOnly != other.statsOnly {
+		return fmt.Errorf("dinero: multisim merge across stats-only modes")
+	}
+	for i := range m.cfgs {
+		if m.slot[i] != other.slot[i] {
+			return fmt.Errorf("dinero: config %d runs on different engines (kernel vs fallback)", i)
+		}
+		if m.cfgs[i].Sets() != other.cfgs[i].Sets() {
+			return fmt.Errorf("dinero: config %d set counts differ (%d vs %d)", i, m.cfgs[i].Sets(), other.cfgs[i].Sets())
+		}
+	}
+	for ki := range m.kernelIdx {
+		m.kernel.MergeStats(ki, other.kernel.Stats(ki))
+		m.kernelAt[ki].mergeFrom(&other.kernelAt[ki])
+	}
+	for si := range m.subs {
+		if err := m.subs[si].MergeFrom(other.subs[si]); err != nil {
+			return err
+		}
+	}
+	m.fed += other.fed
+	m.simFed += other.simFed
+	m.ignored += other.ignored
+	return nil
+}
+
 // Sub returns the fallback Simulator behind configuration i, or nil when
 // the config runs on the fast kernel — analysis consumers (plots, CSV)
 // need the full simulator.

@@ -1,0 +1,192 @@
+// Sharded multi-configuration simulation: the full-attribution MultiSim
+// engine split over N workers, each simulating a disjoint slice of the
+// trace on its own cold MultiSim, reduced with MultiSim.MergeFrom. Like
+// the single-config sharded path (stream.go), the merged result equals a
+// serial run with Flush at every shard boundary — byte-identical reports
+// in exact mode (ReplRandom excepted: its draw stream survives a Flush
+// but cannot survive a shard split).
+package dinero
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tracedst/internal/telemetry"
+	"tracedst/internal/trace"
+)
+
+// MultiShardedResult is the merged outcome of a sharded multi-config run.
+type MultiShardedResult struct {
+	// Sim holds the merged statistics and attribution for every config;
+	// its Report(i) is the flush-at-boundary reference output.
+	Sim *MultiSim
+	// Requested is the shard count asked for (after the <1 → GOMAXPROCS
+	// default); Shards is how many actually ran, clamped to the available
+	// block or record count.
+	Requested int
+	Shards    int
+	// Boundaries are the record indices where shards split — the Flush
+	// points a serial reference run must use to reproduce Sim exactly.
+	Boundaries []int64
+}
+
+// MultiSimSharded streams an indexed binary trace through min(shards,
+// blocks) workers over disjoint block ranges, each feeding a cold
+// MultiSim, and merges the shards. opts.Syms must be nil (each shard
+// interns privately; MergeFrom matches attribution by symbol name) and
+// opts.Sampling must be exact — interval sampling is stateful across the
+// whole record stream and cannot split.
+func MultiSimSharded(tr *trace.IndexedTrace, opts MultiOptions, shards int, dec trace.DecodeOptions) (*MultiShardedResult, error) {
+	return MultiSimShardedContext(context.Background(), tr, opts, shards, dec)
+}
+
+// MultiSimShardedContext is MultiSimSharded under a context: every shard
+// polls ctx between record batches, so cancellation stops all workers
+// within one batch and surfaces ctx.Err(). An interrupted run returns no
+// partial result — callers resume by re-running.
+func MultiSimShardedContext(ctx context.Context, tr *trace.IndexedTrace, opts MultiOptions, shards int, dec trace.DecodeOptions) (*MultiShardedResult, error) {
+	requested, err := checkMultiShard(&opts, &shards)
+	if err != nil {
+		return nil, err
+	}
+	ranges := tr.ShardRanges(shards)
+	if len(ranges) == 0 {
+		// Empty trace: nothing to shard, return one cold simulator.
+		ms, err := NewMulti(opts)
+		if err != nil {
+			return nil, err
+		}
+		return &MultiShardedResult{Sim: ms, Requested: requested, Shards: 0}, nil
+	}
+
+	sims := make([]*MultiSim, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		ms, err := NewMulti(opts)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = ms
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			errs[i] = sims[i].ProcessSource(&ctxSource{ctx: ctx, src: tr.Source(lo, hi, dec)})
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			if cerr := context.Cause(ctx); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("dinero: multisim shard %d (blocks %d-%d): %w", i, ranges[i][0], ranges[i][1], err)
+		}
+	}
+	return reduceMultiShards(sims, requested)
+}
+
+// MultiSimShardedRecords is the in-memory variant: the record slice is
+// split into min(shards, len(recs)) contiguous ranges, each simulated on a
+// cold MultiSim, and the shards merge. It backs the experiments sweeps and
+// figure regeneration, where traces are already materialized. Same
+// constraints as MultiSimSharded: nil Syms, exact sampling.
+func MultiSimShardedRecords(ctx context.Context, recs []trace.Record, opts MultiOptions, shards int) (*MultiShardedResult, error) {
+	requested, err := checkMultiShard(&opts, &shards)
+	if err != nil {
+		return nil, err
+	}
+	if shards > len(recs) {
+		shards = len(recs)
+	}
+	if shards < 1 {
+		shards = 1 // empty slice: one cold, zero-fed simulator
+	}
+
+	sims := make([]*MultiSim, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		ms, err := NewMulti(opts)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = ms
+		lo, hi := len(recs)*i/shards, len(recs)*(i+1)/shards
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = sims[i].processRecordsCtx(ctx, recs[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			if cerr := context.Cause(ctx); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("dinero: multisim shard %d: %w", i, err)
+		}
+	}
+	return reduceMultiShards(sims, requested)
+}
+
+// checkMultiShard validates the sharding constraints and resolves the
+// default shard count, returning the requested (pre-clamp) count.
+func checkMultiShard(opts *MultiOptions, shards *int) (int, error) {
+	if opts.Syms != nil {
+		return 0, fmt.Errorf("dinero: MultiSimSharded: shared Syms table is not supported (shards intern privately)")
+	}
+	if !opts.Sampling.Exact() {
+		return 0, fmt.Errorf("dinero: MultiSimSharded: sampling is not shardable (interval state spans the whole stream)")
+	}
+	if *shards < 1 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	return *shards, nil
+}
+
+// processRecordsCtx feeds recs in chunks, polling ctx between chunks so a
+// cancelled sharded run stops promptly.
+func (m *MultiSim) processRecordsCtx(ctx context.Context, recs []trace.Record) error {
+	const chunk = 1 << 16
+	for len(recs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := min(chunk, len(recs))
+		m.Process(recs[:n])
+		recs = recs[n:]
+	}
+	return nil
+}
+
+// reduceMultiShards merges shard simulators left to right, recording the
+// record-index boundaries a serial reference run must Flush at.
+func reduceMultiShards(sims []*MultiSim, requested int) (*MultiShardedResult, error) {
+	res := &MultiShardedResult{Sim: sims[0], Requested: requested, Shards: len(sims)}
+	var cum int64
+	for i := 1; i < len(sims); i++ {
+		cum += sims[i-1].Records()
+		res.Boundaries = append(res.Boundaries, cum)
+		if err := res.Sim.MergeFrom(sims[i]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// PublishShardTelemetry records the sharded run's shape — requested vs
+// effective shard count — next to the merged simulator's own counters,
+// and logs when oversubscription clamped the request.
+func (r *MultiShardedResult) PublishShardTelemetry(reg *telemetry.Registry) {
+	reg.Counter("multisim.sharded_runs").Inc()
+	reg.Counter("multisim.shards_requested").Add(int64(r.Requested))
+	reg.Counter("multisim.shards").Add(int64(r.Shards))
+	if r.Shards < r.Requested {
+		telemetry.L().Info("sharded multisim clamped", "requested", r.Requested, "effective", r.Shards)
+	}
+	r.Sim.PublishTelemetry(reg)
+}

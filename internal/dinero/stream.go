@@ -21,8 +21,11 @@ type ShardedResult struct {
 	// Sim holds the merged statistics and attribution; its Report is the
 	// flush-at-boundary reference output.
 	Sim *Simulator
-	// Shards is how many shards actually ran (capped by the block count).
-	Shards int
+	// Requested is the shard count asked for (after the <1 → GOMAXPROCS
+	// default); Shards is how many actually ran, clamped to the block
+	// count.
+	Requested int
+	Shards    int
 	// Boundaries are the record indices where shards split — the Flush
 	// points a serial reference run must use to reproduce Sim exactly.
 	Boundaries []int64
@@ -50,6 +53,7 @@ func SimulateShardedContext(ctx context.Context, tr *trace.IndexedTrace, opts Op
 	if shards < 1 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	requested := shards
 	ranges := tr.ShardRanges(shards)
 	if len(ranges) == 0 {
 		// Empty trace: nothing to shard, return one cold simulator.
@@ -57,7 +61,7 @@ func SimulateShardedContext(ctx context.Context, tr *trace.IndexedTrace, opts Op
 		if err != nil {
 			return nil, err
 		}
-		return &ShardedResult{Sim: sim, Shards: 0}, nil
+		return &ShardedResult{Sim: sim, Requested: requested, Shards: 0}, nil
 	}
 
 	sims := make([]*Simulator, len(ranges))
@@ -85,7 +89,7 @@ func SimulateShardedContext(ctx context.Context, tr *trace.IndexedTrace, opts Op
 		}
 	}
 
-	res := &ShardedResult{Sim: sims[0], Shards: len(ranges)}
+	res := &ShardedResult{Sim: sims[0], Requested: requested, Shards: len(ranges)}
 	var cum int64
 	for i := 1; i < len(sims); i++ {
 		cum += sims[i-1].Records()
@@ -116,10 +120,15 @@ func (s *ctxSource) NextBatch() ([]trace.Record, error) {
 	return s.src.NextBatch()
 }
 
-// PublishShardTelemetry records a sharded run's shape next to the merged
-// simulator's own counters.
+// PublishShardTelemetry records a sharded run's shape — requested vs
+// effective shard count — next to the merged simulator's own counters,
+// and logs when oversubscription clamped the request.
 func (r *ShardedResult) PublishShardTelemetry(reg *telemetry.Registry) {
 	reg.Counter("dinero.sharded_runs").Inc()
+	reg.Counter("dinero.shards_requested").Add(int64(r.Requested))
 	reg.Counter("dinero.shards").Add(int64(r.Shards))
+	if r.Shards < r.Requested {
+		telemetry.L().Info("sharded run clamped to available blocks", "requested", r.Requested, "effective", r.Shards)
+	}
 	r.Sim.PublishTelemetry(reg)
 }

@@ -240,19 +240,57 @@ func transformT2Hot() ([]trace.Record, error) {
 	})
 }
 
+// figShards is the process-wide shard count for figure simulations, set
+// from cmd/experiments -shards; ≤1 means serial.
+var (
+	figShardsMu sync.Mutex
+	figShards   int
+)
+
+// SetFigureShards sets how many cold shards figure simulations split into
+// (≤1 = serial) and returns the previous value. Sharded figures carry
+// full attribution — merged per-variable series, per-function stats and
+// conflict matrices — and equal a serial run with Flush at every shard
+// boundary, so AllOpts checkpoints them under distinct @shardsN keys.
+func SetFigureShards(n int) int {
+	figShardsMu.Lock()
+	defer figShardsMu.Unlock()
+	prev := figShards
+	figShards = n
+	return prev
+}
+
+// FigureShards returns the current figure shard count.
+func FigureShards() int {
+	figShardsMu.Lock()
+	defer figShardsMu.Unlock()
+	return figShards
+}
+
 // simulate runs records once through the single-pass multi-config engine
 // for the given configs, attributing against the shared intern table (the
 // records' ids were issued by it) and publishing the finished pass's
 // counters to the default registry. Exact-mode MultiSim reports and
 // per-variable series are byte-identical to independent Simulator runs,
-// so figures built from it print exactly as before.
+// so figures built from it print exactly as before. With SetFigureShards
+// above 1 the pass runs on the sharded full-attribution engine instead
+// (cold shards interning privately; MergeFrom matches symbols by name).
 func simulate(recs []trace.Record, cfgs ...cache.Config) (*dinero.MultiSim, error) {
+	reg := telemetry.Default()
+	if n := FigureShards(); n > 1 {
+		res, err := dinero.MultiSimShardedRecords(context.Background(), recs, dinero.MultiOptions{Configs: cfgs}, n)
+		if err != nil {
+			return nil, err
+		}
+		reg.Counter("experiments.records_in").Add(int64(len(recs)))
+		res.PublishShardTelemetry(reg)
+		return res.Sim, nil
+	}
 	ms, err := dinero.NewMulti(dinero.MultiOptions{Configs: cfgs, Syms: sharedSyms})
 	if err != nil {
 		return nil, err
 	}
 	ms.Process(recs)
-	reg := telemetry.Default()
 	reg.Counter("experiments.records_in").Add(int64(len(recs)))
 	ms.PublishTelemetry(reg)
 	return ms, nil
@@ -559,6 +597,11 @@ func AllOpts(ctx context.Context, opts RunOptions) ([]*Result, error) {
 	err := forEachPolicy(ctx, opts.Policy, opts.workerCount(), len(ids), name, func(_ context.Context, i int) error {
 		id := ids[i]
 		ckptKey := "fig/" + id
+		if n := FigureShards(); n > 1 {
+			// Sharded figures are a distinct result tier (flush-at-boundary
+			// reference), like the sweeps' @shardsN checkpoint keys.
+			ckptKey = fmt.Sprintf("fig/%s@shards%d", id, n)
+		}
 		if opts.Checkpoint != nil {
 			var saved Result
 			if ok, err := opts.Checkpoint.Get(ckptKey, &saved); err != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tracedst/internal/dinero"
+	"tracedst/internal/simcache"
 	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
@@ -68,6 +69,12 @@ type RunOptions struct {
 	// checkpoints under distinct keys and never mixes with unsharded
 	// results. Incompatible with non-exact Sampling.
 	Shards int
+	// SimCache, when non-nil, memoizes finished sweep simulations on disk,
+	// content-addressed by (trace hash, config, result tier, engine
+	// version). Unlike Checkpoint — which keys by task name and is scoped
+	// to one resumable run — the result cache recognizes identical work
+	// across runs, specs and processes. Both can be active at once.
+	SimCache *simcache.Store
 }
 
 // workerCount resolves the effective pool size.

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"tracedst/internal/simcache"
+	"tracedst/internal/telemetry"
+)
+
+func openSimCache(t *testing.T, dir string) (*simcache.Store, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	sc, err := simcache.Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, reg
+}
+
+// TestSweepSimCacheSecondRunAllHits is the cache-determinism property:
+// the same sweep against the same cache directory runs once cold (every
+// lookup a miss, every result stored) and once entirely from the cache
+// (zero misses), with bit-identical results.
+func TestSweepSimCacheSecondRunAllHits(t *testing.T) {
+	dir := t.TempDir()
+
+	sc1, reg1 := openSimCache(t, dir)
+	first, err := SweepsOpts(context.Background(), RunOptions{Workers: 2, SimCache: sc1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintSweeps(first)
+	lookups := reg1.Counter("simcache.lookups").Value()
+	if lookups == 0 {
+		t.Fatal("cold run never consulted the cache")
+	}
+	if hits := reg1.Counter("simcache.hits").Value(); hits != 0 {
+		t.Errorf("cold run: %d hits, want 0", hits)
+	}
+	if m, p := reg1.Counter("simcache.misses").Value(), reg1.Counter("simcache.puts").Value(); m != lookups || p != m {
+		t.Errorf("cold run: lookups %d misses %d puts %d, want all equal", lookups, m, p)
+	}
+
+	// A fresh handle over the same directory, as a separate process.
+	sc2, reg2 := openSimCache(t, dir)
+	second, err := SweepsOpts(context.Background(), RunOptions{Workers: 4, SimCache: sc2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprintSweeps(second); got != want {
+		t.Errorf("cached results differ from the cold run:\n--- cold ---\n%s\n--- cached ---\n%s", want, got)
+	}
+	if m := reg2.Counter("simcache.misses").Value(); m != 0 {
+		t.Errorf("warm run: %d misses, want 0", m)
+	}
+	if h := reg2.Counter("simcache.hits").Value(); h != lookups {
+		t.Errorf("warm run: %d hits, want %d (one per cold-run lookup)", h, lookups)
+	}
+	if p := reg2.Counter("simcache.puts").Value(); p != 0 {
+		t.Errorf("warm run stored %d entries, want 0", p)
+	}
+}
+
+// TestSweepSimCacheBackfillsCheckpoint: a cache hit also lands in the
+// run's checkpoint, so a later resume on the checkpoint alone replays
+// without touching either the trace or the cache.
+func TestSweepSimCacheBackfillsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	sc1, _ := openSimCache(t, dir)
+	first, err := SweepsOpts(context.Background(), RunOptions{Workers: 2, SimCache: sc1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintSweeps(first)
+
+	ckDir := t.TempDir()
+	ck, err := OpenCheckpoint(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, reg2 := openSimCache(t, dir)
+	if _, err := SweepsOpts(context.Background(), RunOptions{Workers: 2, SimCache: sc2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	if m := reg2.Counter("simcache.misses").Value(); m != 0 {
+		t.Fatalf("warm run: %d misses, want 0", m)
+	}
+	if ck.Len() == 0 {
+		t.Fatal("cache hits were not backfilled into the checkpoint")
+	}
+
+	// Checkpoint-only replay: no cache handle at all.
+	ck2, err := OpenCheckpoint(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := SweepsOpts(context.Background(), RunOptions{Workers: 2, Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprintSweeps(replayed); got != want {
+		t.Errorf("checkpoint replay of cached results differs:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestSweepSimCacheShardTierIsSeparate: sharded sweeps equal a
+// flush-at-boundary serial run, not an unflushed one, so their results
+// live under a distinct key tier and never answer exact serial lookups
+// (or vice versa).
+func TestSweepSimCacheShardTierIsSeparate(t *testing.T) {
+	dir := t.TempDir()
+	sc1, _ := openSimCache(t, dir)
+	if _, err := SweepsOpts(context.Background(), RunOptions{Workers: 2, SimCache: sc1}); err != nil {
+		t.Fatal(err)
+	}
+	sc2, reg2 := openSimCache(t, dir)
+	if _, err := SweepsOpts(context.Background(), RunOptions{Workers: 2, Shards: 2, SimCache: sc2}); err != nil {
+		t.Fatal(err)
+	}
+	if h := reg2.Counter("simcache.hits").Value(); h != 0 {
+		t.Errorf("sharded run hit %d serial-tier entries", h)
+	}
+	if m := reg2.Counter("simcache.misses").Value(); m == 0 {
+		t.Error("sharded run never consulted the cache")
+	}
+}

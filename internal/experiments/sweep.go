@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"tracedst/internal/cache"
 	"tracedst/internal/dinero"
+	"tracedst/internal/simcache"
 	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
@@ -139,13 +139,14 @@ func sweepMisses(ctx context.Context, recs []trace.Record, cfgs []cache.Config, 
 }
 
 // sweepMissesSharded is the sharded single-pass engine: the record slice
-// splits into shards contiguous ranges, each range simulates on its own
-// cold MultiSim concurrently, and per-config statistics reduce with
-// cache.Stats.Merge. The merged misses equal a serial sweepMisses run that
-// calls Flush at every shard boundary (see dinero.Simulator.Flush for why
-// — replacement decisions compare stamps, which survive the merge). Exact
-// sampling only; shard simulators intern privately because the shared
-// table is not goroutine-safe and stats-only sweeps never read it.
+// splits into contiguous ranges, each range simulates on its own cold
+// MultiSim concurrently, and the shards reduce with MultiSim.MergeFrom
+// (dinero.MultiSimShardedRecords). The merged misses equal a serial
+// sweepMisses run that calls Flush at every shard boundary (see
+// dinero.Simulator.Flush for why — replacement decisions compare stamps,
+// which survive the merge). Exact sampling only; shard simulators intern
+// privately because the shared table is not goroutine-safe and stats-only
+// sweeps never read it.
 func sweepMissesSharded(ctx context.Context, recs []trace.Record, cfgs []cache.Config, shards int) ([]int64, error) {
 	if shards > len(recs) {
 		shards = len(recs)
@@ -153,56 +154,19 @@ func sweepMissesSharded(ctx context.Context, recs []trace.Record, cfgs []cache.C
 	if shards < 2 || len(recs) == 0 {
 		return sweepMisses(ctx, recs, cfgs, dinero.Sampling{})
 	}
-	sims := make([]*dinero.MultiSim, shards)
-	for i := range sims {
-		ms, err := dinero.NewMulti(dinero.MultiOptions{Configs: cfgs, StatsOnly: true})
-		if err != nil {
-			return nil, err
-		}
-		sims[i] = ms
-	}
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		lo := len(recs) * i / shards
-		hi := len(recs) * (i + 1) / shards
-		wg.Add(1)
-		go func(i int, part []trace.Record) {
-			defer wg.Done()
-			for start := 0; start < len(part); start += simChunk {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					return
-				}
-				end := start + simChunk
-				if end > len(part) {
-					end = len(part)
-				}
-				sims[i].Process(part[start:end])
-			}
-		}(i, recs[lo:hi])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	res, err := dinero.MultiSimShardedRecords(ctx, recs, dinero.MultiOptions{Configs: cfgs, StatsOnly: true}, shards)
+	if err != nil {
+		return nil, err
 	}
 	reg := telemetry.Default()
+	reg.Counter("experiments.records_in").Add(res.Sim.SimulatedRecords() * int64(len(cfgs)))
+	res.PublishShardTelemetry(reg)
+	reg.Counter("experiments.sharded_sweeps").Inc()
+	reg.Counter("experiments.sweep_shards").Add(int64(res.Shards))
 	out := make([]int64, len(cfgs))
 	for ci := range cfgs {
-		merged := sims[0].Stats(ci)
-		for _, ms := range sims[1:] {
-			merged.Merge(ms.Stats(ci))
-		}
-		out[ci] = merged.Misses()
+		out[ci] = res.Sim.Stats(ci).Misses()
 	}
-	for _, ms := range sims {
-		reg.Counter("experiments.records_in").Add(ms.SimulatedRecords() * int64(len(cfgs)))
-		ms.PublishTelemetry(reg)
-	}
-	reg.Counter("experiments.sharded_sweeps").Inc()
-	reg.Counter("experiments.sweep_shards").Add(int64(shards))
 	return out, nil
 }
 
@@ -365,6 +329,44 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 		if err != nil {
 			return err
 		}
+		// The result cache is consulted per missing config: hits restore
+		// the stored misses (and backfill the checkpoint), only the rest
+		// simulate. Keys carry the run's tier suffix, so sampled, sharded
+		// and exact results never cross.
+		cacheKey := func(pi int) simcache.Key { return simcache.Key{} }
+		if opts.SimCache != nil {
+			traceHash := simcache.HashRecords(recs)
+			cacheKey = func(pi int) simcache.Key {
+				return simcache.Key{
+					Trace:    traceHash,
+					Config:   simcache.ConfigSig(sp.config(sp.sizes[pi])),
+					Sampling: suffix,
+					Engine:   simcache.EngineVersion,
+				}
+			}
+			still := missing[:0]
+			for _, pi := range missing {
+				e, ok, err := opts.SimCache.Get(cacheKey(pi))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					still = append(still, pi)
+					continue
+				}
+				store(tk, pi, e.Misses)
+				if opts.Checkpoint != nil {
+					ck.puts.Inc()
+					if err := opts.Checkpoint.Put(key(tk, pi), sweepEntry{Misses: e.Misses}); err != nil {
+						return err
+					}
+				}
+			}
+			missing = still
+			if len(missing) == 0 {
+				return nil
+			}
+		}
 		cfgs := make([]cache.Config, len(missing))
 		for i, pi := range missing {
 			cfgs[i] = sp.config(sp.sizes[pi])
@@ -383,6 +385,13 @@ func runSweeps(ctx context.Context, specs []sweepSpec, opts RunOptions) ([]*Swee
 			if opts.Checkpoint != nil {
 				ck.puts.Inc()
 				if err := opts.Checkpoint.Put(key(tk, pi), sweepEntry{Misses: misses[i]}); err != nil {
+					return err
+				}
+			}
+			if opts.SimCache != nil {
+				if err := opts.SimCache.Put(cacheKey(pi), simcache.Entry{
+					Records: int64(len(recs)), Misses: misses[i],
+				}); err != nil {
 					return err
 				}
 			}

@@ -11,10 +11,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tracedst/internal/cache"
 	"tracedst/internal/cliutil"
 	"tracedst/internal/dinero"
 	"tracedst/internal/experiments"
 	"tracedst/internal/rules"
+	"tracedst/internal/simcache"
 	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 	"tracedst/internal/xform"
@@ -68,6 +70,10 @@ type Job struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Resumed marks a job re-adopted from a previous server process.
 	Resumed bool `json:"resumed,omitempty"`
+	// Cached marks a job answered from the content-addressed result
+	// cache: an identical (trace, config, rule) was already simulated, so
+	// the stored report was returned without re-walking the trace.
+	Cached bool `json:"cached,omitempty"`
 	// Error is the failure/cancel reason for terminal non-done states.
 	Error string `json:"error,omitempty"`
 	// Report is the rendered simulator report (done jobs only).
@@ -213,6 +219,7 @@ func (s *Server) runJob(j *job) {
 		j.Error = ""
 		j.Report = ""
 		j.Records = 0
+		j.Cached = false
 		j.Resources = nil
 	case errors.Is(err, context.Canceled):
 		j.State = StateCanceled
@@ -348,10 +355,38 @@ func max64(a, b int64) int64 {
 // execute is one attempt of the decode → validate → xform → dinero
 // pipeline, streaming the spooled upload in constant memory. It runs
 // under the job context: client cancellation, drain and the per-job
-// timeout all surface here between record batches.
+// timeout all surface here between record batches. An upload whose
+// (trace, config, rule) is already in the result cache skips the
+// pipeline entirely and finishes with the stored report and cached:true.
 func (s *Server) execute(ctx context.Context, j *job) error {
 	j.progress.Store(0)
 	path := s.spoolPath(j.ID)
+
+	// Resolve the config up front: it is part of the result-cache key.
+	cfg := s.cfg.BaseConfig
+	var err error
+	if j.ConfigSpec != "" {
+		cfg, err = cliutil.ParseConfigSpec(s.cfg.BaseConfig, j.ConfigSpec)
+		if err != nil {
+			return err
+		}
+	}
+	shards := s.jobShards(j)
+	ckey, haveKey := s.cacheKey(j, path, cfg, shards)
+	if haveKey {
+		if e, ok, gerr := s.simc.Get(ckey); gerr == nil && ok {
+			j.progress.Store(e.Records)
+			j.mu.Lock()
+			j.Records = e.Records
+			j.BadLines = e.BadLines
+			j.Warnings = e.Warnings
+			j.Report = e.Report
+			j.Cached = true
+			j.mu.Unlock()
+			s.reg.Counter("server.jobs_cached").Inc()
+			return nil
+		}
+	}
 
 	// Pass 1: structural validation. Region checks are skipped — uploads
 	// come from arbitrary tracers whose address spaces the server's
@@ -382,15 +417,34 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 		return err
 	}
 
-	// Pass 2: optional transformation feeding the simulator, straight
-	// from the spool file batch by batch.
-	cfg := s.cfg.BaseConfig
-	if j.ConfigSpec != "" {
-		cfg, err = cliutil.ParseConfigSpec(s.cfg.BaseConfig, j.ConfigSpec)
+	if shards > 1 {
+		// Sharded pass 2: an indexed binary upload with no rule splits
+		// over JobShards cold simulators and merges — one big job uses
+		// all cores. The report equals a serial run with a cache Flush at
+		// every shard boundary.
+		tr, err := trace.OpenIndexed(path)
 		if err != nil {
 			return err
 		}
+		res, rerr := dinero.SimulateShardedContext(ctx, tr, dinero.Options{L1: cfg}, shards, trace.DecodeOptions{})
+		tr.Close()
+		if rerr != nil {
+			return rerr
+		}
+		sim := res.Sim
+		j.progress.Store(sim.Records())
+		j.mu.Lock()
+		j.Records = sim.Records()
+		j.Report = sim.Report()
+		j.mu.Unlock()
+		s.reg.Counter("server.records_simulated").Add(sim.Records())
+		res.PublishShardTelemetry(s.reg)
+		s.cachePut(j, ckey, haveKey)
+		return nil
 	}
+
+	// Pass 2: optional transformation feeding the simulator, straight
+	// from the spool file batch by batch.
 	sim, err := dinero.New(dinero.Options{L1: cfg})
 	if err != nil {
 		return err
@@ -433,7 +487,66 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	j.mu.Unlock()
 	s.reg.Counter("server.records_simulated").Add(sim.Records())
 	sim.PublishTelemetry(s.reg)
+	s.cachePut(j, ckey, haveKey)
 	return nil
+}
+
+// jobShards resolves the effective shard count for one job. The sharded
+// engine applies to indexed binary uploads simulated plainly: text
+// uploads have no block index, rules stream record-by-record, and a
+// throttled server wants jobs held in flight, not finished faster.
+func (s *Server) jobShards(j *job) int {
+	if s.cfg.JobShards > 1 && j.Format == "binary" && j.Rule == "" && s.cfg.Throttle == 0 {
+		return s.cfg.JobShards
+	}
+	return 1
+}
+
+// cacheKey derives the job's result-cache key: trace content hash ×
+// config × rule hash × shard tier × engine version. It reports false —
+// no lookup, no store — when the cache is off, the server is throttled
+// (Throttle holds jobs in flight; a hit would defeat it), or the spool
+// file cannot be hashed.
+func (s *Server) cacheKey(j *job, path string, cfg cache.Config, shards int) (simcache.Key, bool) {
+	if s.simc == nil || s.cfg.Throttle != 0 {
+		return simcache.Key{}, false
+	}
+	th, err := simcache.HashFile(path)
+	if err != nil {
+		return simcache.Key{}, false
+	}
+	k := simcache.Key{
+		Trace:  th,
+		Config: simcache.ConfigSig(cfg),
+		Rule:   simcache.HashText(j.Rule),
+		Engine: simcache.EngineVersion,
+	}
+	if shards > 1 {
+		// Sharded reports are the flush-at-boundary reference — a
+		// distinct tier that must not answer (or be answered by) serial
+		// runs.
+		k.Sampling = fmt.Sprintf("@jobshards%d", shards)
+	}
+	return k, true
+}
+
+// cachePut stores a finished job's outcome under its key; failures are
+// logged, not fatal — the job already has its report.
+func (s *Server) cachePut(j *job, k simcache.Key, haveKey bool) {
+	if !haveKey {
+		return
+	}
+	j.mu.Lock()
+	e := simcache.Entry{
+		Records:  j.Records,
+		BadLines: j.BadLines,
+		Warnings: j.Warnings,
+		Report:   j.Report,
+	}
+	j.mu.Unlock()
+	if err := s.simc.Put(k, e); err != nil {
+		s.log.Error("result cache store failed", "job", j.ID, "err", err.Error())
+	}
 }
 
 // jobSource threads the job context and live progress into a

@@ -28,6 +28,7 @@ import (
 	"tracedst/internal/cliutil"
 	"tracedst/internal/experiments"
 	"tracedst/internal/rules"
+	"tracedst/internal/simcache"
 	"tracedst/internal/telemetry"
 	"tracedst/internal/trace"
 )
@@ -79,7 +80,19 @@ type Config struct {
 	// debugging/benchmark aid that makes job duration proportional to
 	// trace size, so drain behavior can be exercised deterministically
 	// (tests and the CI smoke rely on it). Zero, the default, disables.
+	// A throttled server also bypasses the result cache: its purpose is
+	// holding jobs in flight, which a cache hit would defeat.
 	Throttle time.Duration
+	// JobShards > 1 runs each indexed binary upload (no rule) through the
+	// sharded simulation engine with that many workers, so one big job
+	// uses all cores. Reports equal a serial run with a cache Flush at
+	// every shard boundary. 0/1 = serial.
+	JobShards int
+	// DisableSimCache turns off the content-addressed result store under
+	// StateDir/simcache. With the cache on (the default), a duplicate
+	// upload of an already-simulated (trace, config, rule) completes
+	// immediately with the stored report and cached:true.
+	DisableSimCache bool
 
 	// now is a test hook: a fake clock for the rate limiter.
 	now func() time.Time
@@ -127,6 +140,7 @@ type Server struct {
 	reg     *telemetry.Registry
 	log     *slog.Logger
 	ck      *experiments.Checkpoint
+	simc    *simcache.Store // nil when DisableSimCache
 	limiter *rateLimiter
 
 	baseCtx    context.Context // canceled when draining starts
@@ -160,10 +174,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var simc *simcache.Store
+	if !cfg.DisableSimCache {
+		simc, err = simcache.Open(filepath.Join(cfg.StateDir, "simcache"), cfg.Reg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Reg,
+		simc:       simc,
 		log:        cfg.Log,
 		ck:         ck,
 		limiter:    newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.now),

@@ -268,6 +268,15 @@ func checkInvariants(v *validator, doc any, lossless bool, require []string) {
 			v.errorf("multisim.config_records %d != multisim.per_config_records %d", cfgRecs, perCfg)
 		}
 	}
+	// The simulation result cache resolves every lookup to exactly one
+	// hit or one miss.
+	if lookups, ok := get("simcache.lookups"); ok {
+		hits, _ := get("simcache.hits")
+		misses, _ := get("simcache.misses")
+		if hits+misses != lookups {
+			v.errorf("simcache.hits %d + simcache.misses %d != simcache.lookups %d", hits, misses, lookups)
+		}
+	}
 	if !lossless {
 		return
 	}
